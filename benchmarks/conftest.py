@@ -1,0 +1,72 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables and prints the
+same rows/series the paper reports (run pytest with ``-s`` to see them; the
+tables are also appended to ``bench_results.txt`` in the working
+directory).
+
+Environment knobs:
+
+``REPRO_BENCH_TRACES``
+    ``quick`` (default) — first two traces of each suite (16 traces);
+    ``full``  — the whole 45-trace roster (paper-equivalent, slower).
+``REPRO_BENCH_INSTR``
+    Per-trace dynamic instruction budget (default 200000; traces are
+    generated once and cached under ``.trace_cache/``).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.workloads import suites
+
+RESULTS_FILE = Path("bench_results.txt")
+
+
+def _trace_names():
+    mode = os.environ.get("REPRO_BENCH_TRACES", "quick")
+    if mode == "full":
+        return suites.trace_names()
+    if mode == "quick":
+        return E.quick_trace_set()
+    raise ValueError(f"REPRO_BENCH_TRACES must be quick|full, got {mode!r}")
+
+
+@pytest.fixture(scope="session")
+def trace_set():
+    """Trace names the benchmarks evaluate on."""
+    return _trace_names()
+
+
+@pytest.fixture(scope="session")
+def instr():
+    """Per-trace instruction budget."""
+    return int(os.environ.get("REPRO_BENCH_INSTR", "200000"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_trace_cache(trace_set, instr):
+    """Generate (or load) every trace once before timing anything."""
+    for name in trace_set:
+        suites.get_trace(name, instr)
+
+
+@pytest.fixture()
+def report():
+    """Print a rendered result table and append it to the results file."""
+
+    def _report(text: str) -> None:
+        print()
+        print(text)
+        with RESULTS_FILE.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

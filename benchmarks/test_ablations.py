@@ -1,0 +1,142 @@
+"""Ablations of the design choices DESIGN.md calls out (beyond the paper's
+own figures): PF bits, correlation modes, decoupled PF table, selector
+dynamics, and set-associative Link Tables."""
+
+import pytest
+from conftest import run_once
+
+from repro.eval.metrics import PredictorMetrics
+from repro.eval.runner import run_predictor
+from repro.predictors import (
+    CAPConfig,
+    CAPPredictor,
+    HybridConfig,
+    HybridPredictor,
+)
+from repro.predictors.cap import (
+    CORRELATION_BASE,
+    CORRELATION_DELTA,
+    CORRELATION_REAL,
+)
+from repro.predictors.link_table import LinkTableConfig
+from repro.workloads import suites
+
+
+def _sweep(trace_set, instr, variants):
+    """Run each predictor factory over every trace; return merged metrics."""
+    totals = {name: PredictorMetrics(name=name) for name in variants}
+    for trace_name in trace_set:
+        stream = suites.get_trace(trace_name, instr).predictor_stream()
+        for name, factory in variants.items():
+            totals[name].add(run_predictor(factory(), stream))
+    return totals
+
+
+def test_pf_bits_ablation(benchmark, trace_set, instr, report):
+    """PF bits trade training speed for pollution control (Section 3.5)."""
+    variants = {
+        "pf on": lambda: CAPPredictor(CAPConfig()),
+        "pf off": lambda: CAPPredictor(
+            CAPConfig(lt=LinkTableConfig(pf_bits=0))
+        ),
+        "pf decoupled": lambda: CAPPredictor(
+            CAPConfig(lt=LinkTableConfig(pf_decoupled=True))
+        ),
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, variants))
+    lines = [
+        f"PF ablation: {name}: rate={m.prediction_rate:.1%}"
+        f" acc={m.accuracy:.2%}"
+        for name, m in totals.items()
+    ]
+    report("\n".join(lines))
+    # All variants stay accurate; the decoupled PF table must not be worse
+    # than the in-LT PF bits (it has finer granularity).
+    assert totals["pf decoupled"].prediction_rate >= (
+        totals["pf on"].prediction_rate - 0.03
+    )
+    for metrics in totals.values():
+        assert metrics.accuracy > 0.95
+
+
+def test_correlation_mode_ablation(benchmark, trace_set, instr, report):
+    """Base addresses vs real addresses vs deltas (Section 3.3)."""
+    variants = {
+        mode: (lambda mode=mode: CAPPredictor(CAPConfig(correlation=mode)))
+        for mode in (CORRELATION_BASE, CORRELATION_REAL, CORRELATION_DELTA)
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, variants))
+    lines = [
+        f"correlation {name}: rate={m.prediction_rate:.1%}"
+        f" acc={m.accuracy:.2%} correct={m.correct_rate:.1%}"
+        for name, m in totals.items()
+    ]
+    report("\n".join(lines))
+    # Base addresses beat real addresses in aggregate (Figure 9's claim),
+    # and the delta alternative suffers from false correlation (the paper
+    # rejects it as "less attractive").
+    assert totals["base"].correct_rate > totals["real"].correct_rate
+    assert totals["base"].accuracy >= totals["delta"].accuracy - 0.01
+
+
+def test_selector_ablation(benchmark, trace_set, instr, report):
+    """Dynamic 2-bit selector vs static priorities (Section 3.7)."""
+    variants = {
+        "dynamic": lambda: HybridPredictor(),
+        "static cap": lambda: HybridPredictor(
+            HybridConfig(static_selector="cap")
+        ),
+        "static stride": lambda: HybridPredictor(
+            HybridConfig(static_selector="stride")
+        ),
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, variants))
+    lines = [
+        f"selector {name}: rate={m.prediction_rate:.1%}"
+        f" acc={m.accuracy:.2%} correct={m.correct_rate:.1%}"
+        for name, m in totals.items()
+    ]
+    report("\n".join(lines))
+    dynamic = totals["dynamic"]
+    for name in ("static cap", "static stride"):
+        assert dynamic.correct_rate >= totals[name].correct_rate - 0.01
+
+
+def test_associative_lt_ablation(benchmark, trace_set, instr, report):
+    """Set-associative LT (enabled by tags, Section 3.4) vs direct-mapped."""
+    variants = {
+        "LT 1-way": lambda: CAPPredictor(
+            CAPConfig(lt=LinkTableConfig(entries=4096, ways=1))
+        ),
+        "LT 2-way": lambda: CAPPredictor(
+            CAPConfig(lt=LinkTableConfig(entries=4096, ways=2))
+        ),
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, variants))
+    lines = [
+        f"{name}: rate={m.prediction_rate:.1%} acc={m.accuracy:.2%}"
+        for name, m in totals.items()
+    ]
+    report("\n".join(lines))
+    # The paper: LT associativity has low impact (history values spread
+    # evenly).  Allow a modest band either way.
+    delta = abs(
+        totals["LT 2-way"].prediction_rate - totals["LT 1-way"].prediction_rate
+    )
+    assert delta < 0.08
+
+
+def test_history_shift_ablation(benchmark, trace_set, instr, report):
+    """Shift amount (via history length) controls context aging."""
+    variants = {
+        f"L={n}": (lambda n=n: CAPPredictor(CAPConfig(history_length=n)))
+        for n in (1, 4, 12)
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, variants))
+    lines = [
+        f"history {name}: correct={m.correct_rate:.1%}"
+        for name, m in totals.items()
+    ]
+    report("\n".join(lines))
+    # Degenerate lengths lose to the paper's default of 4.
+    assert totals["L=4"].correct_rate >= totals["L=12"].correct_rate - 0.02

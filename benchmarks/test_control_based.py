@@ -1,0 +1,27 @@
+"""Section 3.6 — control-based address predictors.
+
+Paper result: a g-share-style address predictor "gives poor results mainly
+because the loads are not well correlated to all the individual
+conditional branches"; indexing by a path history over recent call sites
+"gives better results" but still not enough to substitute for CAP.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+
+def test_control_based(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.control_based(trace_set, instr))
+    report(result.render())
+
+    gshare = result.average("gshare")
+    path = result.average("call-path")
+    cap = result.average("cap")
+
+    # CAP clearly dominates both control-based schemes.
+    assert cap.correct_rate > gshare.correct_rate
+    assert cap.correct_rate > path.correct_rate
+
+    # The gap is large — control-based schemes are not viable substitutes.
+    assert cap.correct_rate - max(gshare.correct_rate, path.correct_rate) > 0.05

@@ -1,0 +1,68 @@
+"""Section 6 future-work extensions, benchmarked against the baselines:
+profile-guided routing and the variable-history CAP."""
+
+from conftest import run_once
+
+from repro.eval.metrics import PredictorMetrics
+from repro.eval.runner import run_predictor
+from repro.predictors import (
+    CAPPredictor,
+    HybridPredictor,
+    ProfileGuidedPredictor,
+    VariableHistoryCAP,
+    build_profile,
+)
+from repro.workloads import suites
+
+
+def _sweep(trace_set, instr, factories):
+    totals = {name: PredictorMetrics(name=name) for name in factories}
+    for trace_name in trace_set:
+        trace = suites.get_trace(trace_name, instr)
+        stream = trace.predictor_stream()
+        for name, factory in factories.items():
+            totals[name].add(run_predictor(factory(trace), stream))
+    return totals
+
+
+def test_profile_guided(benchmark, trace_set, instr, report):
+    """Profile assist: comparable quality, no pollution, smaller tables."""
+
+    factories = {
+        "hybrid": lambda trace: HybridPredictor(),
+        "profile-guided": lambda trace: ProfileGuidedPredictor(
+            build_profile(trace)
+        ),
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, factories))
+    report("\n".join(
+        f"profile assist: {name}: rate={m.prediction_rate:.1%}"
+        f" acc={m.accuracy:.2%} correct={m.correct_rate:.1%}"
+        for name, m in totals.items()
+    ))
+    guided = totals["profile-guided"]
+    hybrid = totals["hybrid"]
+    # Within a modest band of the full hybrid, at far lower hardware cost
+    # (the profile here is same-trace, i.e. a perfect-training PGO bound).
+    assert guided.correct_rate > hybrid.correct_rate - 0.10
+    assert guided.accuracy > 0.97
+
+
+def test_variable_history(benchmark, trace_set, instr, report):
+    """Variable history length vs the fixed-length CAP (same storage)."""
+
+    factories = {
+        "cap L=4": lambda trace: CAPPredictor(),
+        "vh-cap 2/6": lambda trace: VariableHistoryCAP(),
+    }
+    totals = run_once(benchmark, lambda: _sweep(trace_set, instr, factories))
+    report("\n".join(
+        f"history: {name}: rate={m.prediction_rate:.1%}"
+        f" acc={m.accuracy:.2%} correct={m.correct_rate:.1%}"
+        for name, m in totals.items()
+    ))
+    vh = totals["vh-cap 2/6"]
+    fixed = totals["cap L=4"]
+    # The tournament must stay competitive despite halved per-component LTs.
+    assert vh.correct_rate > fixed.correct_rate - 0.08
+    assert vh.accuracy > 0.97

@@ -1,0 +1,34 @@
+"""Figure 10 — LT tags and control-flow indications vs CAP performance.
+
+Paper result: the untagged CAP predicts 64.2% with a 3.3% misprediction
+rate; 4 bits of tag cut mispredictions by ~57% while losing only ~2% of
+predictions; 8 bits cut another ~26%; adding path (CFI) information
+reaches ~0.7% — tags are "an extremely efficient confidence scheme".
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+
+def test_fig10(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.fig10(trace_set, instr))
+    report(result.render())
+
+    mis = result.misprediction_rate
+    rate = result.prediction_rate
+
+    # Tags monotonically cut the misprediction rate.
+    assert mis["4-bit tag"] <= mis["no tag"]
+    assert mis["8-bit tag"] <= mis["4-bit tag"] + 0.002
+
+    # CFI on top of tags cuts it further.
+    assert mis["4-bit tag + path"] <= mis["4-bit tag"]
+    assert mis["8-bit tag + path"] <= mis["8-bit tag"]
+
+    # The cost in coverage is small: tags lose only a few points of
+    # prediction rate (paper: ~2%).
+    assert rate["no tag"] - rate["8-bit tag"] < 0.10
+
+    # The tagged+path configuration is very accurate (paper: ~0.7%).
+    assert mis["8-bit tag + path"] < 0.05

@@ -1,0 +1,38 @@
+"""Figure 6 — hybrid prediction rate vs Load Buffer size/associativity.
+
+Paper result: CAD/JAV/NT/TPC/W95 (many static loads) gain steadily with LB
+size; a 2-way LB is a clear win over direct-mapped; >2-way adds little;
+accuracy is insensitive to the geometry.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+GEOMETRIES = [(2048, 2), (4096, 1), (4096, 2), (4096, 4), (8192, 2)]
+
+
+def test_fig6(benchmark, trace_set, instr, report):
+    result = run_once(
+        benchmark, lambda: E.fig6(trace_set, instr, geometries=GEOMETRIES)
+    )
+    report(result.render())
+
+    small = result.average("2K,2way")
+    direct = result.average("4K,1way")
+    base = result.average("4K,2way")
+    wide = result.average("4K,4way")
+    big = result.average("8K,2way")
+
+    # Bigger LBs never hurt, and the 8K LB beats the 2K LB.
+    assert big.prediction_rate >= small.prediction_rate
+
+    # 2-way beats direct-mapped at equal capacity (the paper's "definite win").
+    assert base.prediction_rate >= direct.prediction_rate
+
+    # 4-way adds little over 2-way (less cost-effective).
+    assert abs(wide.prediction_rate - base.prediction_rate) < 0.05
+
+    # Accuracy is flat across geometries.
+    accs = [m.accuracy for m in (small, direct, base, wide, big)]
+    assert max(accs) - min(accs) < 0.02

@@ -1,0 +1,33 @@
+"""Figure 7 — processor speedup of address prediction (immediate update).
+
+Paper result: most traces gain 10-25% (average 21% for the hybrid); the
+hybrid beats the enhanced stride predictor by ~6% on average; TPC and W95
+gain least (LB contention); non-stride loads contribute disproportionately
+to performance.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+
+def test_fig7(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.fig7(trace_set, instr))
+    report(result.render())
+
+    stride_avg = result.suite_average("stride")["Average"]
+    hybrid_avg = result.suite_average("hybrid")["Average"]
+
+    # Both predictors speed the machine up on average.
+    assert stride_avg > 1.0
+    assert hybrid_avg > 1.0
+
+    # The hybrid beats stride (paper: +6.3% on average).
+    assert hybrid_avg > stride_avg
+
+    # The average lands in a plausible band around the paper's 1.21.
+    assert 1.02 < hybrid_avg < 1.8
+
+    # No trace is badly hurt by prediction.
+    for trace, per_variant in result.per_trace.items():
+        assert per_variant["hybrid"] > 0.97, trace

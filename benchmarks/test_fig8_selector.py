@@ -1,0 +1,28 @@
+"""Figure 8 — hybrid selector performance.
+
+Paper result: ~80% of speculative accesses are loads predicted by both
+components; ~90% of dual predictions sit in the two CAP-selecting counter
+states (update-always biases the selector towards CAP); the correct-
+selection rate is >99% — the 2-bit counter is "quite close to perfect".
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+
+def test_fig8(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.fig8(trace_set, instr))
+    report(result.render())
+
+    avg = result.distributions["Average"]
+    cap_states = avg.get("weak cap", 0.0) + avg.get("strong cap", 0.0)
+
+    # Most dual predictions are made while the selector points at CAP.
+    assert cap_states > 0.5
+
+    # Selection is near-perfect (paper: >99%).
+    assert result.correct_selection["Average"] > 0.97
+
+    # A large share of speculative accesses is dual-predicted (paper ~80%).
+    assert result.dual_share["Average"] > 0.4

@@ -1,0 +1,26 @@
+"""Section 4.2 (text) — hybrid prediction rate vs Link Table size.
+
+Paper result: the average hybrid prediction rate "steadily increases from
+63% for a 1K-entry LT to about 68% for 8K", with the LT-sensitive suites
+being CAD, INT, JAV and MM.
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+SIZES = [1024, 2048, 4096, 8192]
+
+
+def test_lt_size_sweep(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.lt_sweep(trace_set, instr, SIZES))
+    report(result.render())
+
+    rates = [result.average(f"LT {s // 1024}K").prediction_rate for s in SIZES]
+
+    # Monotone non-decreasing trend (small jitter tolerated).
+    for small, large in zip(rates, rates[1:]):
+        assert large >= small - 0.01
+
+    # The full sweep gains a few points, as in the paper (63% -> 68%).
+    assert 0.0 < rates[-1] - rates[0] < 0.20

@@ -1,0 +1,62 @@
+"""Micro-benchmarks: raw throughput of the simulator and the predictors.
+
+These are classic pytest-benchmark timings (many rounds) rather than
+figure reproductions — useful for catching performance regressions in the
+hot paths (CPU dispatch loop, predictor predict/update).
+"""
+
+import pytest
+
+from repro.eval.runner import run_predictor
+from repro.isa.cpu import CPU
+from repro.predictors import (
+    CAPPredictor,
+    HybridPredictor,
+    LastAddressPredictor,
+    StridePredictor,
+)
+from repro.timing import simulate
+from repro.workloads import LinkedListWorkload, trace_workload
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return trace_workload(LinkedListWorkload(seed=9), max_instructions=20_000)
+
+
+@pytest.fixture(scope="module")
+def small_stream(small_trace):
+    return small_trace.predictor_stream()
+
+
+def test_cpu_throughput(benchmark):
+    built = LinkedListWorkload(seed=9).build()
+    cpu = CPU(built.memory)
+
+    def run():
+        return cpu.run(built.program, max_instructions=20_000)
+
+    result = benchmark(run)
+    assert result.instructions == 20_000
+
+
+@pytest.mark.parametrize("factory", [
+    LastAddressPredictor, StridePredictor, CAPPredictor, HybridPredictor,
+], ids=["last", "stride", "cap", "hybrid"])
+def test_predictor_throughput(benchmark, small_stream, factory):
+    metrics = benchmark(lambda: run_predictor(factory(), small_stream))
+    assert metrics.loads > 0
+
+
+def test_timing_model_throughput(benchmark, small_trace):
+    result = benchmark(lambda: simulate(small_trace))
+    assert result.cycles > 0
+
+
+def test_trace_generation_throughput(benchmark):
+    result = benchmark(
+        lambda: trace_workload(
+            LinkedListWorkload(seed=9), max_instructions=10_000
+        )
+    )
+    assert len(result) == 10_000

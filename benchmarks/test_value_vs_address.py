@@ -1,0 +1,27 @@
+"""Section 1 — load-value prediction vs load-address prediction.
+
+Paper claim: "Load-value prediction may be used as an alternate option to
+reduce load-to-use latency.  However, its lower predictability makes this
+option less attractive."
+"""
+
+from conftest import run_once
+
+from repro.eval import experiments as E
+
+
+def test_value_vs_address(benchmark, trace_set, instr, report):
+    result = run_once(benchmark, lambda: E.value_vs_address(trace_set, instr))
+    report(result.render())
+
+    last_rate, _, last_ceiling = result.rows["last-value"]
+    stride_rate, _, stride_ceiling = result.rows["stride-value"]
+    addr_rate, addr_acc, addr_ceiling = result.rows["hybrid (address)"]
+
+    # Addresses are decisively more predictable than values.
+    assert addr_rate > last_rate + 0.10
+    assert addr_rate > stride_rate + 0.10
+    assert addr_ceiling > max(last_ceiling, stride_ceiling)
+
+    # The address predictor also keeps paper-grade accuracy.
+    assert addr_acc > 0.97

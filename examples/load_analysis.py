@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Section 2 reproduction: analyse the loads current predictors miss.
+
+The paper's analysis section prints letter-coded "fingerprints" of load
+address streams to argue that the hard loads are *short recurring
+sequences* (RDS traversals, call-site-dependent accesses), not noise.
+This example redoes that analysis on the xlisp-style workload and on the
+go-style index-list workload, then shows the front-end pressure numbers
+behind the Section 5.4 implementation discussion.
+
+Run:  python examples/load_analysis.py
+"""
+
+from repro.analysis import analyze_fetch_groups, analyze_trace, load_fingerprint
+from repro.workloads import IndexListWorkload, ListEvalWorkload, trace_workload
+
+
+def main() -> None:
+    for title, workload in (
+        ("xlisp-style evaluator", ListEvalWorkload(seed=21)),
+        ("go-style index lists", IndexListWorkload(seed=21)),
+    ):
+        trace = trace_workload(workload, max_instructions=40_000)
+        analysis = analyze_trace(trace)
+        print(f"=== {title} ===")
+        print(analysis.render(top=5))
+        print()
+        print("fingerprints (paper Section 2 style):")
+        ranked = sorted(analysis.profiles, key=lambda p: -p.count)[:3]
+        for profile in ranked:
+            print(
+                f"  {profile.ip:#x} [{profile.classification}]  "
+                + load_fingerprint(trace, profile.ip, limit=20)
+            )
+        print()
+
+    # Section 5.4: how many predictions per cycle would the front end need?
+    trace = trace_workload(ListEvalWorkload(seed=21), max_instructions=40_000)
+    print(analyze_fetch_groups(trace, width=8).render())
+    print()
+    print(
+        "Short recurring sequences dominate — the repetition property that\n"
+        "justifies a context-based predictor (Section 3.1) — and an 8-wide\n"
+        "front end routinely needs several predictions per cycle, sometimes\n"
+        "for the same static load (the Section 5.4 implementation concern)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: predict the loads of a pointer-chasing program.
+
+This walks the full pipeline in ~60 lines:
+
+1. write a tiny program against the mini-ISA (a linked-list traversal —
+   the paper's Section 2.1 motivating example);
+2. run it on the functional CPU to get a dynamic trace;
+3. evaluate the stride, CAP and hybrid predictors on that trace;
+4. print the paper-style prediction-rate / accuracy numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.eval.runner import run_predictor
+from repro.isa import CPU, HeapAllocator, Memory, assemble
+from repro.predictors import CAPPredictor, HybridPredictor, StridePredictor
+from repro.trace import Trace
+
+
+def build_linked_list(memory: Memory, length: int = 12) -> int:
+    """Allocate a shuffled linked list (val @ +4, next @ +8); returns head."""
+    allocator = HeapAllocator(policy="shuffled", seed=42)
+    nodes = [allocator.alloc(16) for _ in range(length)]
+    for i, addr in enumerate(nodes):
+        memory.poke(addr + 4, i * 10)                       # val
+        memory.poke(addr + 8, nodes[i + 1] if i + 1 < length else 0)
+    return nodes[0]
+
+
+def main() -> None:
+    memory = Memory()
+    head = build_linked_list(memory)
+
+    # `p = p->next`-style traversal, repeated forever; the trace length is
+    # bounded by max_instructions below.
+    program = assemble(
+        f"""
+        main:
+            li   r2, 0              ; checksum
+        outer:
+            li   r1, {head}         ; p = head
+        walk:
+            ld   r3, 4(r1)          ; val  = p->val   (stride-hopeless)
+            add  r2, r2, r3
+            ld   r1, 8(r1)          ; p    = p->next  (pointer chase)
+            bne  r1, r0, walk
+            jmp  outer
+        """,
+        name="quickstart",
+    )
+
+    trace = Trace("quickstart")
+    CPU(memory).run(program, max_instructions=50_000, trace=trace)
+    print(trace.summary())
+    print()
+
+    stream = trace.predictor_stream()
+    print(f"{'predictor':<16} {'pred rate':>10} {'accuracy':>10}")
+    for predictor in (StridePredictor(), CAPPredictor(), HybridPredictor()):
+        metrics = run_predictor(predictor, stream)
+        print(
+            f"{predictor.name:<16} {metrics.prediction_rate:>9.1%}"
+            f" {metrics.accuracy:>9.1%}"
+        )
+    print()
+    print(
+        "The shuffled node layout defeats the stride predictor, while the"
+        " context-based\nCAP predictor learns the short recurring address"
+        " sequence almost perfectly —\nthe paper's core observation"
+        " (Sections 2.1 and 3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Trace analysis: Section 2 load-behaviour and Section 5.4 front-end studies."""
+
+from .frontend import FetchGroupStats, analyze_fetch_groups
+from .patterns import (
+    CLASS_CONSTANT,
+    CLASS_CONTEXT,
+    CLASS_IRREGULAR,
+    CLASS_STRIDE,
+    LoadProfile,
+    TraceAnalysis,
+    analyze_trace,
+    fingerprint,
+    load_fingerprint,
+)
+
+__all__ = [
+    "FetchGroupStats",
+    "analyze_fetch_groups",
+    "CLASS_CONSTANT",
+    "CLASS_CONTEXT",
+    "CLASS_IRREGULAR",
+    "CLASS_STRIDE",
+    "LoadProfile",
+    "TraceAnalysis",
+    "analyze_trace",
+    "fingerprint",
+    "load_fingerprint",
+]

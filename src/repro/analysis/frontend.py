@@ -1,0 +1,109 @@
+"""Front-end pressure analysis (paper Section 5.4).
+
+    "In a super-scalar machine, several load instructions may be
+    fetched/decoded in the same cycle.  The prediction mechanism should
+    allow for several predictions and verifications within a cycle.  An
+    extreme case of this problem is performing several predictions /
+    verifications of the same static instructions in the same cycle."
+
+This module quantifies that concern for any trace: it slices the
+instruction stream into fetch groups of the machine width and reports how
+many groups carry multiple loads, and how often the *same static load*
+appears twice in one group (the case that would force iterative LT scans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..trace.event import LOAD_KINDS
+from ..trace.trace import Trace
+
+__all__ = ["FetchGroupStats", "analyze_fetch_groups"]
+
+
+@dataclass
+class FetchGroupStats:
+    """Per-width statistics about load clustering in fetch groups."""
+
+    width: int
+    groups: int = 0
+    groups_with_load: int = 0
+    groups_with_multiple_loads: int = 0
+    groups_with_repeated_static_load: int = 0
+    max_loads_in_group: int = 0
+    #: loads-per-group histogram
+    load_histogram: Dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.load_histogram is None:
+            self.load_histogram = {}
+
+    @property
+    def multi_load_fraction(self) -> float:
+        """Share of fetch groups needing >1 prediction per cycle."""
+        return (
+            self.groups_with_multiple_loads / self.groups
+            if self.groups else 0.0
+        )
+
+    @property
+    def repeated_static_fraction(self) -> float:
+        """Share of groups with the same static load twice — the paper's
+        'extreme case' requiring an iterative LT scan."""
+        return (
+            self.groups_with_repeated_static_load / self.groups
+            if self.groups else 0.0
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"Fetch-group analysis (width {self.width},"
+            f" {self.groups} groups)",
+            f"  groups with a load:            "
+            f"{self.groups_with_load / self.groups:6.1%}"
+            if self.groups else "  (empty trace)",
+            f"  groups needing >1 prediction:  {self.multi_load_fraction:6.1%}",
+            f"  groups repeating a static load:"
+            f" {self.repeated_static_fraction:6.1%}",
+            f"  max loads in one group:        {self.max_loads_in_group}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_fetch_groups(trace: Trace, width: int = 8) -> FetchGroupStats:
+    """Slice ``trace`` into width-sized fetch groups and count load pressure.
+
+    The grouping ignores control flow (a taken branch would end a fetch
+    group early in real hardware), so the numbers are an upper bound on
+    per-cycle prediction demand — the right direction for sizing the
+    multi-ported structures Section 5.4 worries about.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    stats = FetchGroupStats(width=width)
+    kinds = trace.kind
+    ips = trace.ip
+
+    for start in range(0, len(kinds), width):
+        stats.groups += 1
+        loads = 0
+        seen: set = set()
+        repeated = False
+        for i in range(start, min(start + width, len(kinds))):
+            if kinds[i] in LOAD_KINDS:
+                loads += 1
+                if ips[i] in seen:
+                    repeated = True
+                seen.add(ips[i])
+        stats.load_histogram[loads] = stats.load_histogram.get(loads, 0) + 1
+        if loads:
+            stats.groups_with_load += 1
+        if loads > 1:
+            stats.groups_with_multiple_loads += 1
+        if repeated:
+            stats.groups_with_repeated_static_load += 1
+        if loads > stats.max_loads_in_group:
+            stats.max_loads_in_group = loads
+    return stats

@@ -1,0 +1,38 @@
+"""Shared low-level building blocks: bit manipulation, counters, tables."""
+
+from .bitops import (
+    bits,
+    fold_xor,
+    high_bits,
+    is_power_of_two,
+    log2_exact,
+    low_bits,
+    mask,
+    popcount,
+    sign_extend,
+    truncate,
+)
+from .sat_counter import SaturatingCounter, UpDownCounter
+from .stats import Distribution, RateCounter, geometric_mean, weighted_mean
+from .tables import DirectMappedTable, SetAssociativeTable
+
+__all__ = [
+    "bits",
+    "fold_xor",
+    "high_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "low_bits",
+    "mask",
+    "popcount",
+    "sign_extend",
+    "truncate",
+    "SaturatingCounter",
+    "UpDownCounter",
+    "Distribution",
+    "RateCounter",
+    "geometric_mean",
+    "weighted_mean",
+    "DirectMappedTable",
+    "SetAssociativeTable",
+]

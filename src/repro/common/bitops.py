@@ -1,0 +1,105 @@
+"""Bit-level helpers used throughout the predictor structures.
+
+All predictor tables in the paper operate on fixed-width unsigned fields
+(history registers, tags, base addresses, branch-history bits).  Python
+integers are unbounded, so every structure masks its fields explicitly via
+the helpers here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "mask",
+    "bits",
+    "bit_slice",
+    "truncate",
+    "low_bits",
+    "high_bits",
+    "sign_extend",
+    "fold_xor",
+    "popcount",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+
+def mask(width: int) -> int:
+    """Return a bit mask of ``width`` ones (``mask(4) == 0b1111``)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bits(value: int, lo: int, hi: int) -> int:
+    """Extract bits ``[lo, hi)`` of ``value`` (lo inclusive, hi exclusive).
+
+    ``bits(0b10110, 1, 4) == 0b011``.
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid bit range [{lo}, {hi})")
+    return (value >> lo) & mask(hi - lo)
+
+
+# Alias with a name that reads better at some call sites.
+bit_slice = bits
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to its low ``width`` bits."""
+    return value & mask(width)
+
+
+def low_bits(value: int, width: int) -> int:
+    """Return the ``width`` least-significant bits of ``value``."""
+    return value & mask(width)
+
+
+def high_bits(value: int, total_width: int, width: int) -> int:
+    """Return the ``width`` most-significant bits of a ``total_width``-bit value."""
+    if width > total_width:
+        raise ValueError(
+            f"cannot take {width} high bits of a {total_width}-bit value"
+        )
+    return (value >> (total_width - width)) & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement int."""
+    value = truncate(value, width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def fold_xor(value: int, width: int) -> int:
+    """Fold an arbitrarily long value into ``width`` bits by repeated xor.
+
+    Used to compress long addresses into short table indices while letting
+    every input bit influence the result.
+    """
+    if width <= 0:
+        raise ValueError(f"fold width must be positive, got {width}")
+    folded = 0
+    value = abs(value)
+    while value:
+        folded ^= value & mask(width)
+        value >>= width
+    return folded
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative value")
+    return bin(value).count("1")
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

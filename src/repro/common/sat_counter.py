@@ -1,0 +1,135 @@
+"""Saturating counters and related confidence primitives.
+
+The paper (Section 3.4) uses saturating counters that are *incremented on a
+correct prediction and reset on a misprediction*, firing only at a threshold
+value (typically 2 or 3); an optional hysteresis variant decrements instead
+of resetting.  The hybrid selector (Section 3.7) uses a classic 2-bit
+up/down counter with four states.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SaturatingCounter", "UpDownCounter"]
+
+
+class SaturatingCounter:
+    """Confidence counter: +1 on correct, reset (or -1) on incorrect.
+
+    Parameters
+    ----------
+    threshold:
+        Value at and above which the counter reports confidence.
+    maximum:
+        Saturation ceiling; defaults to ``threshold``.
+    hysteresis:
+        When true, an incorrect outcome decrements instead of resetting —
+        the "extra bit" hysteresis behaviour mentioned in Section 3.4.
+    initial:
+        Starting value (0 = untrained).
+    """
+
+    __slots__ = ("value", "threshold", "maximum", "hysteresis")
+
+    def __init__(
+        self,
+        threshold: int = 2,
+        maximum: int | None = None,
+        hysteresis: bool = False,
+        initial: int = 0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.maximum = threshold if maximum is None else maximum
+        if self.maximum < threshold:
+            raise ValueError("maximum must be >= threshold")
+        if not 0 <= initial <= self.maximum:
+            raise ValueError("initial value out of range")
+        self.hysteresis = hysteresis
+        self.value = initial
+
+    @property
+    def confident(self) -> bool:
+        """True when the counter has reached its firing threshold."""
+        return self.value >= self.threshold
+
+    def update(self, correct: bool) -> None:
+        """Train on one outcome."""
+        if correct:
+            if self.value < self.maximum:
+                self.value += 1
+        elif self.hysteresis:
+            if self.value > 0:
+                self.value -= 1
+        else:
+            self.value = 0
+
+    def reset(self) -> None:
+        """Return to the untrained state."""
+        self.value = 0
+
+    def snapshot(self) -> int:
+        """Current raw value (for speculative checkpointing)."""
+        return self.value
+
+    def restore(self, value: int) -> None:
+        """Restore a previously snapshotted value."""
+        if not 0 <= value <= self.maximum:
+            raise ValueError("restored value out of range")
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SaturatingCounter(value={self.value}, threshold={self.threshold},"
+            f" maximum={self.maximum}, hysteresis={self.hysteresis})"
+        )
+
+
+class UpDownCounter:
+    """An n-bit up/down saturating counter (the hybrid's dynamic selector).
+
+    With ``width=2`` the four states are 0 (strong A), 1 (weak A),
+    2 (weak B), 3 (strong B).  The paper initialises the selector biased
+    towards "weak CAP" (state 2 when A=stride, B=CAP).
+    """
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, width: int = 2, initial: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.maximum = (1 << width) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError("initial value out of range")
+        self.value = initial
+
+    @property
+    def midpoint(self) -> float:
+        """The boundary between the two halves of the state space."""
+        return self.maximum / 2
+
+    @property
+    def favors_high(self) -> bool:
+        """True when the counter currently selects the "high" component."""
+        return self.value > self.midpoint
+
+    def up(self) -> None:
+        """Move one state towards the high component."""
+        if self.value < self.maximum:
+            self.value += 1
+
+    def down(self) -> None:
+        """Move one state towards the low component."""
+        if self.value > 0:
+            self.value -= 1
+
+    def state_name(self, low: str = "A", high: str = "B") -> str:
+        """Human-readable state label, e.g. ``"weak CAP"``."""
+        if self.value <= self.midpoint:
+            strength = "strong" if self.value == 0 else "weak"
+            return f"{strength} {low}"
+        strength = "strong" if self.value == self.maximum else "weak"
+        return f"{strength} {high}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UpDownCounter(value={self.value}, maximum={self.maximum})"

@@ -1,0 +1,110 @@
+"""Lightweight statistics helpers shared by the evaluation layer."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["RateCounter", "Distribution", "weighted_mean", "geometric_mean"]
+
+
+@dataclass
+class RateCounter:
+    """Counts events against a population and reports the rate.
+
+    ``hits / total`` with a well-defined value (0.0) for an empty population.
+    """
+
+    hits: int = 0
+    total: int = 0
+
+    def record(self, hit: bool) -> None:
+        """Count one trial."""
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    def add(self, other: "RateCounter") -> None:
+        """Accumulate another counter into this one."""
+        self.hits += other.hits
+        self.total += other.total
+
+    @property
+    def rate(self) -> float:
+        """Fraction of hits (0.0 when nothing was recorded)."""
+        return self.hits / self.total if self.total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RateCounter({self.hits}/{self.total} = {self.rate:.4f})"
+
+
+@dataclass
+class Distribution:
+    """A categorical distribution over string-labelled buckets."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def record(self, label: str, weight: int = 1) -> None:
+        """Add ``weight`` observations of ``label``."""
+        self.counts[label] += weight
+
+    def add(self, other: "Distribution") -> None:
+        """Accumulate another distribution into this one."""
+        self.counts.update(other.counts)
+
+    @property
+    def total(self) -> int:
+        """Total observation count."""
+        return sum(self.counts.values())
+
+    def fraction(self, label: str) -> float:
+        """Share of observations carrying ``label``."""
+        total = self.total
+        return self.counts[label] / total if total else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """All label shares, in insertion order of the counter."""
+        total = self.total
+        if not total:
+            return {}
+        return {label: count / total for label, count in self.counts.items()}
+
+
+def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean of ``(value, weight)`` pairs; 0.0 when weights sum to zero."""
+    num = 0.0
+    den = 0.0
+    for value, weight in pairs:
+        num += value * weight
+        den += weight
+    return num / den if den else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for speedup averaging)."""
+    logsum = 0.0
+    count = 0
+    import math
+
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        logsum += math.log(value)
+        count += 1
+    if not count:
+        return 0.0
+    return math.exp(logsum / count)
+
+
+def merge_rate_maps(
+    maps: Iterable[Mapping[str, RateCounter]],
+) -> dict[str, RateCounter]:
+    """Merge several ``{label: RateCounter}`` mappings by summation."""
+    merged: dict[str, RateCounter] = {}
+    for mapping in maps:
+        for label, counter in mapping.items():
+            if label not in merged:
+                merged[label] = RateCounter()
+            merged[label].add(counter)
+    return merged

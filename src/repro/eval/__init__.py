@@ -1,0 +1,25 @@
+"""Evaluation harness: runner, metrics, per-figure experiment drivers."""
+
+from . import experiments
+from .charts import bar_chart, grouped_bar_chart, series_chart
+from .metrics import PredictorMetrics, SuiteMetrics, aggregate_by_suite
+from .report import format_percent, format_speedup, format_table
+from .runner import run_on_stream, run_predictor
+from .sensitivity import SweepResult, sweep
+
+__all__ = [
+    "experiments",
+    "bar_chart",
+    "grouped_bar_chart",
+    "series_chart",
+    "SweepResult",
+    "sweep",
+    "PredictorMetrics",
+    "SuiteMetrics",
+    "aggregate_by_suite",
+    "format_percent",
+    "format_speedup",
+    "format_table",
+    "run_on_stream",
+    "run_predictor",
+]

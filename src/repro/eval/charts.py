@@ -1,0 +1,99 @@
+"""ASCII bar charts — terminal renderings of the paper's figures.
+
+The paper's evaluation figures are grouped bar charts; the tables the
+experiment drivers print carry the same data, but a bar rendering makes
+the *shape* (who wins, by how much, where the crossovers are) visible at
+a glance in a terminal.  Used by ``python -m repro run <exp> --chart``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_chart"]
+
+#: Fill characters cycled across series in a group.
+_FILLS = ("#", "=", "o", "x", "+", "*")
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    formatter: Optional[Callable[[float], str]] = None,
+    title: str = "",
+) -> str:
+    """One horizontal bar per labelled value."""
+    return grouped_bar_chart(
+        labels=list(values),
+        series={"": [values[k] for k in values]},
+        width=width,
+        formatter=formatter,
+        title=title,
+    )
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 50,
+    formatter: Optional[Callable[[float], str]] = None,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bars: one group per label, one bar per series.
+
+    ``series`` maps a series name to one value per label.  Bars scale to
+    the global maximum so groups are comparable, exactly like the paper's
+    shared y-axes.
+    """
+    if formatter is None:
+        formatter = lambda v: f"{v * 100:.1f}%"  # noqa: E731 - local default
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for"
+                f" {len(labels)} labels"
+            )
+    peak = max(
+        (v for values in series.values() for v in values), default=0.0,
+    )
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max((len(str(l)) for l in labels), default=0)
+    name_width = max((len(n) for n in series), default=0)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            bar = _FILLS[j % len(_FILLS)] * max(
+                0, round(value * scale)
+            )
+            group_label = str(label) if j == 0 else ""
+            lines.append(
+                f"{group_label:<{label_width}}  {name:<{name_width}}"
+                f" |{bar} {formatter(value)}"
+            )
+        if len(series) > 1:
+            lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    width: int = 50,
+    formatter: Optional[Callable[[float], str]] = None,
+    title: str = "",
+) -> str:
+    """Line-chart stand-in: one bar row per (x, series) point.
+
+    For sweep results (history length, prediction gap) where the paper
+    draws lines; the grouped-bar form reads fine for short sweeps.
+    """
+    return grouped_bar_chart(
+        labels=x_labels, series=series, width=width,
+        formatter=formatter, title=title,
+    )

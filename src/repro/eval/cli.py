@@ -1,0 +1,186 @@
+"""Command-line interface: run paper experiments from a shell.
+
+Usage (via ``python -m repro``)::
+
+    python -m repro list                      # available experiments/traces
+    python -m repro run fig5                  # one figure, quick trace set
+    python -m repro run fig9 --full           # all 45 traces
+    python -m repro run fig7 --traces INT_xli MM_aud --instructions 50000
+    python -m repro summarize INT_xli         # trace statistics
+    python -m repro analyze INT_xli           # Section 2-style load analysis
+    python -m repro sweep cap.history_length 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..workloads import suites
+from . import experiments as E
+
+#: name -> (driver, description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig5": (E.fig5, "prediction rate/accuracy of stride, CAP, hybrid"),
+    "fig6": (E.fig6, "hybrid vs Load Buffer geometry"),
+    "lt_sweep": (E.lt_sweep, "hybrid vs Link Table size (Sec 4.2)"),
+    "fig7": (E.fig7, "processor speedup, immediate update"),
+    "lt_update_policy": (E.lt_update_policy, "LT update policies (Sec 4.3)"),
+    "fig8": (E.fig8, "hybrid selector performance"),
+    "fig9": (E.fig9, "history length x global correlation"),
+    "fig10": (E.fig10, "LT tags / CFI vs mispredictions"),
+    "fig11": (E.fig11, "prediction-gap sweep"),
+    "fig12": (E.fig12, "speedup at prediction gap 8"),
+    "baselines": (E.baselines, "last-address / stride coverage (Sec 1)"),
+    "control_based": (E.control_based, "g-share / call-path predictors"),
+    "value_vs_address": (
+        E.value_vs_address, "load-value vs address predictability (Sec 1)"
+    ),
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"  {name:<18} {description}")
+    print()
+    print("suites / traces:")
+    for suite in suites.SUITE_NAMES:
+        print(f"  {suite:<5} {' '.join(suites.trace_names(suite))}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    driver, _ = EXPERIMENTS[args.experiment]
+
+    traces: Optional[List[str]]
+    if args.traces:
+        traces = args.traces
+    elif args.full:
+        traces = suites.trace_names()
+    else:
+        traces = E.quick_trace_set()
+
+    started = time.time()
+    result = driver(traces=traces, instructions=args.instructions)
+    elapsed = time.time() - started
+    if args.chart and hasattr(result, "render_chart"):
+        print(result.render_chart())
+    else:
+        print(result.render())
+    print(f"\n[{len(traces)} traces, {elapsed:.1f}s]")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    for name in args.traces:
+        trace = suites.get_trace(name, args.instructions)
+        print(trace.summary())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from ..analysis import analyze_trace, load_fingerprint
+
+    for name in args.traces:
+        trace = suites.get_trace(name, args.instructions)
+        analysis = analyze_trace(trace)
+        print(analysis.render(top=args.top))
+        if args.fingerprints:
+            ranked = sorted(analysis.profiles, key=lambda p: -p.count)
+            for profile in ranked[: args.fingerprints]:
+                print(
+                    f"  {profile.ip:#x} ({profile.classification}): "
+                    + load_fingerprint(trace, profile.ip, limit=24)
+                )
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sensitivity import SWEEPABLE, sweep
+
+    if args.list:
+        for knob, description in SWEEPABLE.items():
+            print(f"  {knob:<28} {description}")
+        return 0
+    if not args.knob or not args.values:
+        print("usage: sweep <knob> <value>... (or --list)", file=sys.stderr)
+        return 2
+    values = [int(v) for v in args.values]
+    traces = args.traces or E.quick_trace_set()
+    result = sweep(
+        args.knob, values, traces=traces, instructions=args.instructions,
+    )
+    print(result.render())
+    print(f"\nbest by correct rate: {args.knob} = {result.best()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduction harness for 'Correlated Load-Address Predictors'"
+            " (ISCA 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and traces").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment name (see 'list')")
+    run.add_argument("--full", action="store_true",
+                     help="use all 45 traces (default: 2 per suite)")
+    run.add_argument("--traces", nargs="+", metavar="NAME",
+                     help="explicit trace names")
+    run.add_argument("--instructions", type=int, default=None,
+                     help="per-trace dynamic instruction budget")
+    run.add_argument("--chart", action="store_true",
+                     help="render as ASCII bars instead of a table")
+    run.set_defaults(func=_cmd_run)
+
+    summarize = sub.add_parser("summarize", help="print trace statistics")
+    summarize.add_argument("traces", nargs="+", metavar="NAME")
+    summarize.add_argument("--instructions", type=int, default=None)
+    summarize.set_defaults(func=_cmd_summarize)
+
+    analyze = sub.add_parser(
+        "analyze", help="Section 2-style load-pattern analysis"
+    )
+    analyze.add_argument("traces", nargs="+", metavar="NAME")
+    analyze.add_argument("--instructions", type=int, default=None)
+    analyze.add_argument("--top", type=int, default=10,
+                         help="static loads to detail")
+    analyze.add_argument("--fingerprints", type=int, default=3,
+                         help="fingerprinted loads to print (0 = none)")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="sensitivity sweep over a predictor config knob"
+    )
+    sweep_cmd.add_argument("knob", nargs="?", help="e.g. cap.history_length")
+    sweep_cmd.add_argument("values", nargs="*", help="integer values to try")
+    sweep_cmd.add_argument("--list", action="store_true",
+                           help="list documented knobs")
+    sweep_cmd.add_argument("--traces", nargs="+", metavar="NAME")
+    sweep_cmd.add_argument("--instructions", type=int, default=None)
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    handler: Callable[[argparse.Namespace], int] = args.func
+    return handler(args)

@@ -1,0 +1,133 @@
+"""Prediction-quality metrics, matching the paper's definitions.
+
+* **prediction rate** — speculative accesses (correct *and* incorrect) as a
+  fraction of all dynamic loads (Section 4.2);
+* **accuracy** — correct predictions as a fraction of speculative accesses;
+* **misprediction rate** — ``1 - accuracy`` (out of speculative accesses,
+  as in Figure 10);
+* **correct rate** — correct speculative accesses out of all dynamic loads
+  (the Figure 9 metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+__all__ = ["PredictorMetrics", "SuiteMetrics", "aggregate_by_suite"]
+
+
+@dataclass
+class PredictorMetrics:
+    """Counters from one predictor x trace evaluation."""
+
+    name: str = ""
+    trace: str = ""
+    suite: str = ""
+    loads: int = 0
+    predictions: int = 0          # an address was produced (LB hit + link)
+    speculative: int = 0          # confidence agreed -> speculative access
+    correct_speculative: int = 0
+    correct_predictions: int = 0  # correctness over all produced addresses
+
+    def record(self, made: bool, speculative: bool, correct: bool) -> None:
+        """Account for one dynamic load."""
+        self.loads += 1
+        if made:
+            self.predictions += 1
+            if correct:
+                self.correct_predictions += 1
+        if speculative:
+            self.speculative += 1
+            if correct:
+                self.correct_speculative += 1
+
+    # -- derived rates ------------------------------------------------------
+
+    @property
+    def prediction_rate(self) -> float:
+        """Speculative accesses / all loads."""
+        return self.speculative / self.loads if self.loads else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correct / speculative accesses."""
+        if not self.speculative:
+            return 0.0
+        return self.correct_speculative / self.speculative
+
+    @property
+    def misprediction_rate(self) -> float:
+        """Incorrect / speculative accesses."""
+        if not self.speculative:
+            return 0.0
+        return 1.0 - self.accuracy
+
+    @property
+    def correct_rate(self) -> float:
+        """Correct speculative accesses / all loads (Figure 9 metric)."""
+        return self.correct_speculative / self.loads if self.loads else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Loads for which any address was produced / all loads."""
+        return self.predictions / self.loads if self.loads else 0.0
+
+    @property
+    def mispredictions(self) -> int:
+        """Absolute count of wrong speculative accesses."""
+        return self.speculative - self.correct_speculative
+
+    # -- combination ------------------------------------------------------------
+
+    def add(self, other: "PredictorMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        self.loads += other.loads
+        self.predictions += other.predictions
+        self.speculative += other.speculative
+        self.correct_speculative += other.correct_speculative
+        self.correct_predictions += other.correct_predictions
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or 'predictor'} on {self.trace or 'trace'}: "
+            f"rate={self.prediction_rate:.1%} acc={self.accuracy:.2%} "
+            f"({self.speculative}/{self.loads} spec)"
+        )
+
+
+@dataclass
+class SuiteMetrics:
+    """Per-suite aggregation of several trace runs."""
+
+    suite: str
+    combined: PredictorMetrics = field(default_factory=PredictorMetrics)
+    traces: Dict[str, PredictorMetrics] = field(default_factory=dict)
+
+    def add(self, metrics: PredictorMetrics) -> None:
+        """Fold one trace's metrics into the suite."""
+        self.traces[metrics.trace] = metrics
+        self.combined.add(metrics)
+
+
+def aggregate_by_suite(
+    runs: Iterable[PredictorMetrics],
+    name: Optional[str] = None,
+) -> Dict[str, SuiteMetrics]:
+    """Group per-trace metrics into suites, plus an ``"Average"`` entry.
+
+    The ``"Average"`` bucket sums counters across every trace — the same
+    load-weighted averaging the paper uses for its "Average" bars.
+    """
+    suites: Dict[str, SuiteMetrics] = {}
+    overall = SuiteMetrics(suite="Average")
+    overall.combined.name = name or ""
+    for metrics in runs:
+        suite = metrics.suite or "MISC"
+        if suite not in suites:
+            suites[suite] = SuiteMetrics(suite=suite)
+            suites[suite].combined.name = metrics.name
+        suites[suite].add(metrics)
+        overall.add(metrics)
+    suites["Average"] = overall
+    return suites

@@ -1,0 +1,87 @@
+"""Drive a predictor over a trace and collect metrics.
+
+The runner walks the trace's predictor stream (loads, branches, calls,
+returns in program order), calls ``predict``/``update`` for every dynamic
+load and maintains the correctness bookkeeping.  With the default
+immediate-update predictors this reproduces the Section 4 machine model;
+wrapping the predictor in :class:`repro.pipeline.PipelinedPredictor` gives
+the Section 5 model without changing this runner.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..predictors.base import AddressPredictor
+from ..trace.trace import Trace
+from .metrics import PredictorMetrics
+
+__all__ = ["run_predictor", "run_on_stream"]
+
+
+def run_on_stream(
+    predictor: AddressPredictor,
+    stream: Iterable[tuple],
+    metrics: PredictorMetrics,
+    warmup_loads: int = 0,
+) -> PredictorMetrics:
+    """Evaluate ``predictor`` over a predictor stream.
+
+    ``stream`` items follow :meth:`repro.trace.Trace.predictor_stream`:
+    ``(1, ip, addr, offset)`` loads, ``(0, ip, taken, 0)`` branches,
+    ``(2, ip, 0, 0)`` calls, ``(3, ip, 0, 0)`` returns.
+
+    ``warmup_loads`` loads at the start train the predictor without being
+    counted (the paper's 30M-instruction traces amortise warm-up; short
+    synthetic traces may not).
+    """
+    predict = predictor.predict
+    update = predictor.update
+    on_branch = predictor.on_branch
+    on_call = predictor.on_call
+    on_return = predictor.on_return
+    seen_loads = 0
+
+    for tag, ip, a, b in stream:
+        if tag == 1:
+            prediction = predict(ip, b)
+            seen_loads += 1
+            if seen_loads > warmup_loads:
+                metrics.record(
+                    made=prediction.made,
+                    speculative=prediction.speculative,
+                    correct=prediction.address == a,
+                )
+            update(ip, b, a, prediction)
+        elif tag == 0:
+            on_branch(ip, bool(a))
+        elif tag == 2:
+            on_call(ip)
+        else:
+            on_return(ip)
+    return metrics
+
+
+def run_predictor(
+    predictor: AddressPredictor,
+    trace: Union[Trace, list],
+    name: Optional[str] = None,
+    warmup_loads: int = 0,
+) -> PredictorMetrics:
+    """Evaluate ``predictor`` on ``trace`` and return fresh metrics.
+
+    ``trace`` may be a :class:`Trace` or an already-extracted predictor
+    stream (useful when evaluating many predictors over one trace).
+    """
+    if isinstance(trace, Trace):
+        stream = trace.predictor_stream()
+        trace_name = trace.name
+        suite = trace.meta.get("suite", "")
+    else:
+        stream = trace
+        trace_name = ""
+        suite = ""
+    metrics = PredictorMetrics(
+        name=name or predictor.name, trace=trace_name, suite=suite,
+    )
+    return run_on_stream(predictor, stream, metrics, warmup_loads)

@@ -1,0 +1,34 @@
+"""Mini RISC-like ISA: instructions, assembler, memory model, functional CPU.
+
+This is the execution substrate that stands in for the paper's proprietary
+IA-32 trace collection: workload programs written against this ISA are run
+by :class:`~repro.isa.cpu.CPU` to produce the dynamic load-address streams
+the predictors are evaluated on.
+"""
+
+from .assembler import AssemblyError, assemble
+from .cpu import CPU, CPUError, CPUResult
+from .instructions import FP, NUM_REGISTERS, RV, SP, WORD_SIZE, Instruction, Op
+from .memory import AddressSpace, HeapAllocator, Memory
+from .program import Program, ProgramBuilder, UnresolvedLabelError
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "CPU",
+    "CPUError",
+    "CPUResult",
+    "FP",
+    "NUM_REGISTERS",
+    "RV",
+    "SP",
+    "WORD_SIZE",
+    "Instruction",
+    "Op",
+    "AddressSpace",
+    "HeapAllocator",
+    "Memory",
+    "Program",
+    "ProgramBuilder",
+    "UnresolvedLabelError",
+]

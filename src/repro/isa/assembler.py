@@ -1,0 +1,178 @@
+"""A small text assembler for the mini-ISA.
+
+Syntax (one instruction per line; ``;`` or ``#`` starts a comment)::
+
+    main:
+        li   r1, 100        ; immediate
+        li   r2, 0
+    loop:
+        ld   r3, 8(r1)      ; load with immediate offset
+        add  r2, r2, r3
+        addi r1, r1, 16
+        bne  r3, r0, loop
+        halt
+
+Registers are ``r0``..``r15`` with aliases ``sp`` (r15) and ``fp`` (r14).
+Immediates accept decimal or ``0x`` hex, optionally negative.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .instructions import FP, SP, Instruction, Op
+from .program import Program, ProgramBuilder
+
+__all__ = ["assemble", "AssemblyError"]
+
+_MNEMONICS = {op.value: op for op in Op}
+_REG_ALIASES = {"sp": SP, "fp": FP}
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))?\((\w+)\)$")
+
+
+class AssemblyError(Exception):
+    """Raised on any syntax error, with line information."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+def _parse_reg(token: str, line_no: int, line: str) -> int:
+    token = token.lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg <= 15:
+            return reg
+    raise AssemblyError(line_no, line, f"bad register {token!r}")
+
+
+def _parse_imm(token: str, line_no: int, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line_no, line, f"bad immediate {token!r}") from None
+
+
+def _parse_mem(token: str, line_no: int, line: str) -> tuple[int, int]:
+    """Parse ``imm(reg)`` into (offset, base register)."""
+    match = _MEM_RE.match(token)
+    if not match:
+        raise AssemblyError(line_no, line, f"bad memory operand {token!r}")
+    offset = int(match.group(1), 0) if match.group(1) else 0
+    base = _parse_reg(match.group(2), line_no, line)
+    return offset, base
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def assemble(source: str, name: str = "", code_base: Optional[int] = None) -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    kwargs = {} if code_base is None else {"code_base": code_base}
+    builder = ProgramBuilder(name=name, **kwargs)
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        # Labels (possibly followed by an instruction on the same line).
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(line_no, raw, f"bad label {label!r}")
+            try:
+                builder.label(label)
+            except ValueError as exc:
+                raise AssemblyError(line_no, raw, str(exc)) from None
+            line = line.strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic not in _MNEMONICS:
+            raise AssemblyError(line_no, raw, f"unknown mnemonic {mnemonic!r}")
+        op = _MNEMONICS[mnemonic]
+        ops = _split_operands(rest)
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblyError(
+                    line_no, raw,
+                    f"{mnemonic} expects {n} operand(s), got {len(ops)}",
+                )
+
+        if op is Op.LI:
+            need(2)
+            builder.li(_parse_reg(ops[0], line_no, raw),
+                       _parse_imm(ops[1], line_no, raw))
+        elif op is Op.MOV:
+            need(2)
+            builder.mov(_parse_reg(ops[0], line_no, raw),
+                        _parse_reg(ops[1], line_no, raw))
+        elif op in (Op.ADDI, Op.MULI, Op.ANDI):
+            need(3)
+            builder.emit(Instruction(
+                op,
+                rd=_parse_reg(ops[0], line_no, raw),
+                rs1=_parse_reg(ops[1], line_no, raw),
+                imm=_parse_imm(ops[2], line_no, raw),
+            ))
+        elif op in (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+                    Op.XOR, Op.SHL, Op.SHR):
+            need(3)
+            builder.emit(Instruction(
+                op,
+                rd=_parse_reg(ops[0], line_no, raw),
+                rs1=_parse_reg(ops[1], line_no, raw),
+                rs2=_parse_reg(ops[2], line_no, raw),
+            ))
+        elif op is Op.LD:
+            need(2)
+            offset, base = _parse_mem(ops[1], line_no, raw)
+            builder.ld(_parse_reg(ops[0], line_no, raw), base, offset)
+        elif op is Op.ST:
+            need(2)
+            offset, base = _parse_mem(ops[1], line_no, raw)
+            builder.st(_parse_reg(ops[0], line_no, raw), base, offset)
+        elif op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            need(3)
+            builder.emit(Instruction(
+                op,
+                rs1=_parse_reg(ops[0], line_no, raw),
+                rs2=_parse_reg(ops[1], line_no, raw),
+                target=ops[2],
+            ))
+        elif op in (Op.JMP, Op.CALL):
+            need(1)
+            builder.emit(Instruction(op, target=ops[0]))
+        elif op is Op.JR:
+            need(1)
+            builder.jr(_parse_reg(ops[0], line_no, raw))
+        elif op is Op.PUSH:
+            need(1)
+            builder.push(_parse_reg(ops[0], line_no, raw))
+        elif op is Op.POP:
+            need(1)
+            builder.pop(_parse_reg(ops[0], line_no, raw))
+        elif op is Op.RET:
+            need(0)
+            builder.ret()
+        elif op is Op.NOP:
+            need(0)
+            builder.nop()
+        elif op is Op.HALT:
+            need(0)
+            builder.halt()
+        else:  # pragma: no cover - all ops handled above
+            raise AssemblyError(line_no, raw, f"unhandled op {op}")
+
+    return builder.build()

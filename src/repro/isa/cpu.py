@@ -1,0 +1,297 @@
+"""Functional CPU: executes programs and emits dynamic instruction traces.
+
+The interpreter is the workhorse behind every workload trace, so the hot
+loop is written for speed: instructions are pre-decoded into plain tuples,
+dispatch is on integer opcodes, and trace recording appends directly to the
+trace's column lists.
+
+Arithmetic is 32-bit unsigned with wraparound; ``blt``/``bge`` compare the
+two's-complement interpretation.  ``div``/``mod`` are unsigned and raise on
+a zero divisor (workload bugs should be loud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..trace.event import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_RET,
+    KIND_STORE,
+)
+from ..trace.trace import Trace
+from .instructions import NUM_REGISTERS, SP, WORD_SIZE, Op
+from .memory import AddressSpace, Memory
+from .program import Program
+
+__all__ = ["CPU", "CPUResult", "CPUError"]
+
+_MASK32 = 0xFFFFFFFF
+_SIGN_BIT = 0x80000000
+
+# Integer opcodes for fast dispatch.
+(
+    _LI, _MOV, _ADD, _SUB, _MUL, _DIV, _MOD, _AND, _OR, _XOR, _SHL, _SHR,
+    _ADDI, _MULI, _ANDI, _LD, _ST, _BEQ, _BNE, _BLT, _BGE, _JMP, _CALL,
+    _RET, _JR, _PUSH, _POP, _NOP, _HALT,
+) = range(29)
+
+_OPCODE = {
+    Op.LI: _LI, Op.MOV: _MOV, Op.ADD: _ADD, Op.SUB: _SUB, Op.MUL: _MUL,
+    Op.DIV: _DIV, Op.MOD: _MOD, Op.AND: _AND, Op.OR: _OR, Op.XOR: _XOR,
+    Op.SHL: _SHL, Op.SHR: _SHR, Op.ADDI: _ADDI, Op.MULI: _MULI,
+    Op.ANDI: _ANDI, Op.LD: _LD, Op.ST: _ST, Op.BEQ: _BEQ, Op.BNE: _BNE,
+    Op.BLT: _BLT, Op.BGE: _BGE, Op.JMP: _JMP, Op.CALL: _CALL, Op.RET: _RET,
+    Op.JR: _JR, Op.PUSH: _PUSH, Op.POP: _POP, Op.NOP: _NOP, Op.HALT: _HALT,
+}
+
+
+class CPUError(Exception):
+    """Runtime fault: bad jump target, stack underflow, division by zero."""
+
+
+@dataclass
+class CPUResult:
+    """Outcome of one :meth:`CPU.run` invocation."""
+
+    instructions: int
+    halted: bool
+    registers: List[int]
+
+    @property
+    def hit_limit(self) -> bool:
+        """True when execution stopped at ``max_instructions``."""
+        return not self.halted
+
+
+def _signed(value: int) -> int:
+    """Two's-complement interpretation of a 32-bit word."""
+    return value - (1 << 32) if value & _SIGN_BIT else value
+
+
+class CPU:
+    """A single-context functional interpreter.
+
+    Parameters
+    ----------
+    memory:
+        The memory image (usually pre-populated by a workload builder).
+    stack_base:
+        Initial stack pointer; the stack grows towards lower addresses.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[Memory] = None,
+        stack_base: int = AddressSpace.STACK_BASE,
+    ) -> None:
+        self.memory = memory if memory is not None else Memory()
+        self.stack_base = stack_base
+        self.registers: List[int] = [0] * NUM_REGISTERS
+
+    @staticmethod
+    def _decode(program: Program) -> list:
+        """Pre-decode instructions into dispatch tuples.
+
+        Each tuple is ``(code, rd, rs1, rs2, imm, target, ip)``.
+        """
+        decoded = []
+        for index, instr in enumerate(program.instructions):
+            decoded.append((
+                _OPCODE[instr.op],
+                instr.rd if instr.rd is not None else 0,
+                instr.rs1 if instr.rs1 is not None else 0,
+                instr.rs2 if instr.rs2 is not None else 0,
+                instr.imm,
+                instr.target if isinstance(instr.target, int) else 0,
+                program.ip_of(index),
+            ))
+        return decoded
+
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = 10_000_000,
+        trace: Optional[Trace] = None,
+        entry: str = "main",
+    ) -> CPUResult:
+        """Execute ``program`` until ``halt`` or the instruction limit.
+
+        When ``trace`` is given, every retired instruction appends one
+        event.  The register file persists across calls, except that the
+        stack pointer is reset to ``stack_base`` at entry.
+        """
+        decoded = self._decode(program)
+        n = len(decoded)
+        if n == 0:
+            return CPUResult(0, True, list(self.registers))
+
+        regs = self.registers
+        regs[SP] = self.stack_base
+        mem_load = self.memory.load
+        mem_store = self.memory.store
+        record = trace.append if trace is not None else None
+
+        pc = program.entry(entry)
+        executed = 0
+        halted = False
+
+        while executed < max_instructions:
+            if not 0 <= pc < n:
+                raise CPUError(f"PC {pc} outside program of length {n}")
+            code, rd, rs1, rs2, imm, target, ip = decoded[pc]
+            executed += 1
+            next_pc = pc + 1
+
+            if code == _LD:
+                addr = (regs[rs1] + imm) & _MASK32
+                regs[rd] = mem_load(addr)
+                if record:
+                    record(KIND_LOAD, ip, addr, imm, rd, rs1, -1, 0, regs[rd])
+            elif code == _ADDI:
+                regs[rd] = (regs[rs1] + imm) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, -1)
+            elif code == _ADD:
+                regs[rd] = (regs[rs1] + regs[rs2]) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _BNE:
+                taken = regs[rs1] != regs[rs2]
+                if taken:
+                    next_pc = target
+                if record:
+                    record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
+            elif code == _BEQ:
+                taken = regs[rs1] == regs[rs2]
+                if taken:
+                    next_pc = target
+                if record:
+                    record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
+            elif code == _BLT:
+                taken = _signed(regs[rs1]) < _signed(regs[rs2])
+                if taken:
+                    next_pc = target
+                if record:
+                    record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
+            elif code == _BGE:
+                taken = _signed(regs[rs1]) >= _signed(regs[rs2])
+                if taken:
+                    next_pc = target
+                if record:
+                    record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
+            elif code == _ST:
+                addr = (regs[rs1] + imm) & _MASK32
+                mem_store(addr, regs[rs2])
+                if record:
+                    record(KIND_STORE, ip, addr, imm, -1, rs1, rs2, 0,
+                           regs[rs2])
+            elif code == _LI:
+                regs[rd] = imm & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, -1, -1)
+            elif code == _MOV:
+                regs[rd] = regs[rs1]
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, -1)
+            elif code == _SUB:
+                regs[rd] = (regs[rs1] - regs[rs2]) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _MUL:
+                regs[rd] = (regs[rs1] * regs[rs2]) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _MULI:
+                regs[rd] = (regs[rs1] * imm) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, -1)
+            elif code == _ANDI:
+                regs[rd] = regs[rs1] & imm & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, -1)
+            elif code == _AND:
+                regs[rd] = regs[rs1] & regs[rs2]
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _OR:
+                regs[rd] = regs[rs1] | regs[rs2]
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _XOR:
+                regs[rd] = regs[rs1] ^ regs[rs2]
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _SHL:
+                regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _SHR:
+                regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _DIV:
+                divisor = regs[rs2]
+                if divisor == 0:
+                    raise CPUError(f"division by zero at {ip:#x}")
+                regs[rd] = (regs[rs1] // divisor) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _MOD:
+                divisor = regs[rs2]
+                if divisor == 0:
+                    raise CPUError(f"modulo by zero at {ip:#x}")
+                regs[rd] = (regs[rs1] % divisor) & _MASK32
+                if record:
+                    record(KIND_ALU, ip, 0, 0, rd, rs1, rs2)
+            elif code == _JMP:
+                next_pc = target
+                if record:
+                    record(KIND_JUMP, ip, 0, 0, -1, -1, -1, 1)
+            elif code == _CALL:
+                sp = (regs[SP] - WORD_SIZE) & _MASK32
+                regs[SP] = sp
+                mem_store(sp, program.ip_of(next_pc))
+                next_pc = target
+                if record:
+                    record(KIND_CALL, ip, sp, 0, SP, SP, -1, 1)
+            elif code == _RET:
+                sp = regs[SP]
+                ret_ip = mem_load(sp)
+                regs[SP] = (sp + WORD_SIZE) & _MASK32
+                if record:
+                    record(KIND_RET, ip, sp, 0, SP, SP, -1, 1, ret_ip)
+                next_pc = program.index_of_ip(ret_ip)
+            elif code == _JR:
+                if record:
+                    record(KIND_JUMP, ip, 0, 0, -1, rs1, -1, 1)
+                next_pc = program.index_of_ip(regs[rs1])
+            elif code == _PUSH:
+                sp = (regs[SP] - WORD_SIZE) & _MASK32
+                regs[SP] = sp
+                mem_store(sp, regs[rs2])
+                if record:
+                    record(KIND_STORE, ip, sp, 0, SP, SP, rs2, 0, regs[rs2])
+            elif code == _POP:
+                sp = regs[SP]
+                regs[rd] = mem_load(sp)
+                regs[SP] = (sp + WORD_SIZE) & _MASK32
+                if record:
+                    record(KIND_LOAD, ip, sp, 0, rd, SP, -1, 0, regs[rd])
+            elif code == _NOP:
+                if record:
+                    record(KIND_ALU, ip, 0, 0, -1, -1, -1)
+            elif code == _HALT:
+                halted = True
+                break
+            else:  # pragma: no cover - exhaustive dispatch
+                raise CPUError(f"unknown opcode {code} at {ip:#x}")
+
+            pc = next_pc
+
+        return CPUResult(executed, halted, list(regs))

@@ -1,0 +1,211 @@
+"""Instruction set of the mini RISC-like ISA.
+
+The paper evaluates its predictors on IA-32 traces.  Those traces are
+proprietary, so this package defines a small word-addressed RISC-like ISA
+whose programs generate the same *kinds* of load-address streams the paper
+analyses: pointer chasing through heap structures, stack-relative argument
+loads, array strides, and irregular accesses.
+
+Design points that matter to the predictors:
+
+* Every load carries an explicit **immediate offset** (``ld rd, imm(rs)``).
+  CAP's global-correlation mechanism subtracts this offset to form base
+  addresses (paper Section 3.3), so the ISA must expose it.
+* ``call``/``ret``/``push``/``pop`` touch the stack through real memory
+  accesses, so return-address and argument loads appear in the trace just
+  as they do in the paper's user+kernel IA-32 traces.
+* Conditional branches exist so a global branch-history register (GHR) can
+  be maintained for the control-flow-indication confidence mechanism.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Op",
+    "Instruction",
+    "NUM_REGISTERS",
+    "WORD_SIZE",
+    "SP",
+    "FP",
+    "RV",
+]
+
+#: Number of general-purpose registers r0..r15.
+NUM_REGISTERS = 16
+#: Bytes per machine word (all memory traffic is word-sized).
+WORD_SIZE = 4
+#: Conventional stack-pointer register.
+SP = 15
+#: Conventional frame-pointer register.
+FP = 14
+#: Conventional return-value register.
+RV = 0
+
+
+class Op(enum.Enum):
+    """Operation codes.
+
+    The ``value`` strings double as assembler mnemonics.
+    """
+
+    # Data movement / arithmetic
+    LI = "li"        # li rd, imm
+    MOV = "mov"      # mov rd, rs
+    ADD = "add"      # add rd, rs1, rs2
+    SUB = "sub"      # sub rd, rs1, rs2
+    MUL = "mul"      # mul rd, rs1, rs2
+    DIV = "div"      # div rd, rs1, rs2   (integer division, trunc toward 0)
+    MOD = "mod"      # mod rd, rs1, rs2
+    AND = "and"      # and rd, rs1, rs2
+    OR = "or"        # or rd, rs1, rs2
+    XOR = "xor"      # xor rd, rs1, rs2
+    SHL = "shl"      # shl rd, rs1, rs2
+    SHR = "shr"      # shr rd, rs1, rs2
+    ADDI = "addi"    # addi rd, rs1, imm
+    MULI = "muli"    # muli rd, rs1, imm
+    ANDI = "andi"    # andi rd, rs1, imm
+
+    # Memory
+    LD = "ld"        # ld rd, imm(rs1)     -- the instruction predictors watch
+    ST = "st"        # st rs2, imm(rs1)    -- store rs2 to [rs1 + imm]
+
+    # Control flow
+    BEQ = "beq"      # beq rs1, rs2, label
+    BNE = "bne"      # bne rs1, rs2, label
+    BLT = "blt"      # blt rs1, rs2, label (signed)
+    BGE = "bge"      # bge rs1, rs2, label (signed)
+    JMP = "jmp"      # jmp label
+    CALL = "call"    # call label          -- pushes return address
+    RET = "ret"      # ret                 -- pops return address
+    JR = "jr"        # jr rs1              -- indirect jump
+
+    # Stack
+    PUSH = "push"    # push rs2
+    POP = "pop"      # pop rd
+
+    # Misc
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Ops that read memory (emit a load trace event).
+LOAD_OPS = frozenset({Op.LD, Op.POP, Op.RET})
+#: Ops that write memory.
+STORE_OPS = frozenset({Op.ST, Op.PUSH, Op.CALL})
+#: Conditional branches (update the GHR).
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+#: All control transfers.
+CONTROL_OPS = BRANCH_OPS | {Op.JMP, Op.CALL, Op.RET, Op.JR}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``target`` holds a label name until :class:`~repro.isa.program.Program`
+    resolution replaces it with an instruction index (still stored in
+    ``target`` as an ``int``).
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[object] = None  # label name (str) or resolved index (int)
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if reg is not None and not 0 <= reg < NUM_REGISTERS:
+                raise ValueError(f"{name}={reg} out of range for {self.op}")
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        """True for instructions that read memory."""
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        """True for instructions that write memory."""
+        return self.op in STORE_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches."""
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        """True for any control transfer."""
+        return self.op in CONTROL_OPS
+
+    def sources(self) -> tuple[int, ...]:
+        """Registers read by this instruction (for dataflow analysis)."""
+        op = self.op
+        if op in (Op.MOV, Op.ADDI, Op.MULI, Op.ANDI, Op.LD, Op.JR):
+            return (self.rs1,) if self.rs1 is not None else ()
+        if op in (
+            Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+            Op.XOR, Op.SHL, Op.SHR,
+        ):
+            return (self.rs1, self.rs2)  # type: ignore[return-value]
+        if op in BRANCH_OPS:
+            return (self.rs1, self.rs2)  # type: ignore[return-value]
+        if op is Op.ST:
+            return tuple(r for r in (self.rs1, self.rs2) if r is not None)
+        if op is Op.PUSH:
+            return (self.rs2, SP)  # type: ignore[return-value]
+        if op is Op.POP:
+            return (SP,)
+        if op in (Op.CALL, Op.RET):
+            return (SP,)
+        return ()
+
+    def destination(self) -> Optional[int]:
+        """Register written by this instruction, if any."""
+        if self.op in (
+            Op.LI, Op.MOV, Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+            Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR, Op.ADDI, Op.MULI,
+            Op.ANDI, Op.LD, Op.POP,
+        ):
+            return self.rd
+        return None
+
+    # -- formatting ---------------------------------------------------------
+
+    def __str__(self) -> str:
+        op = self.op
+        m = op.value
+        if op is Op.LI:
+            return f"{m} r{self.rd}, {self.imm}"
+        if op is Op.MOV:
+            return f"{m} r{self.rd}, r{self.rs1}"
+        if op in (Op.ADDI, Op.MULI, Op.ANDI):
+            return f"{m} r{self.rd}, r{self.rs1}, {self.imm}"
+        if op in (
+            Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR,
+            Op.XOR, Op.SHL, Op.SHR,
+        ):
+            return f"{m} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if op is Op.LD:
+            return f"{m} r{self.rd}, {self.imm}(r{self.rs1})"
+        if op is Op.ST:
+            return f"{m} r{self.rs2}, {self.imm}(r{self.rs1})"
+        if op in BRANCH_OPS:
+            return f"{m} r{self.rs1}, r{self.rs2}, {self.target}"
+        if op in (Op.JMP, Op.CALL):
+            return f"{m} {self.target}"
+        if op is Op.JR:
+            return f"{m} r{self.rs1}"
+        if op is Op.PUSH:
+            return f"{m} r{self.rs2}"
+        if op is Op.POP:
+            return f"{m} r{self.rd}"
+        return m

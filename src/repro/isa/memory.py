@@ -1,0 +1,198 @@
+"""Memory model: flat word-addressed space with a heap allocator and a stack.
+
+The address-space layout mirrors a conventional process image so that the
+trace's load addresses carry realistic structure:
+
+```
+0x0000_1000  code    (4 bytes per instruction)
+0x1000_0000  globals (static data, written by workload builders)
+0x2000_0000  heap    (malloc'd nodes, arrays, hash buckets, ...)
+0x7fff_f000  stack   (grows downward; call/ret/push/pop traffic)
+```
+
+The allocator supports three placement policies because the *layout* of
+recursive data structures is what makes them stride-unpredictable (paper
+Section 2.1): ``sequential`` lays blocks out contiguously (degenerates to a
+stride pattern), ``shuffled`` permutes a region of pre-carved blocks (the
+realistic malloc-churn case used by default), and ``spread`` places blocks
+pseudo-randomly across the heap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List
+
+from .instructions import WORD_SIZE
+
+__all__ = ["AddressSpace", "Memory", "HeapAllocator"]
+
+
+class AddressSpace:
+    """Canonical segment base addresses."""
+
+    CODE_BASE = 0x0000_1000
+    GLOBAL_BASE = 0x1000_0000
+    HEAP_BASE = 0x2000_0000
+    HEAP_LIMIT = 0x6000_0000
+    STACK_BASE = 0x7FFF_F000  # initial SP; stack grows down
+
+
+class Memory:
+    """Sparse word-granular memory.
+
+    Reads of never-written locations return 0, matching zero-initialised
+    process memory.  Addresses are byte addresses; unaligned word accesses
+    are permitted (the predictors' history hashing deliberately drops the
+    two LSBs, so alignment only matters to them, not to correctness here).
+    """
+
+    __slots__ = ("_words", "reads", "writes")
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def load(self, addr: int) -> int:
+        """Read the word at byte address ``addr``."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        self.reads += 1
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the word at byte address ``addr``."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        self.writes += 1
+        self._words[addr] = value
+
+    def peek(self, addr: int) -> int:
+        """Read without counting (used by builders and tests)."""
+        return self._words.get(addr, 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write without counting (used by workload builders)."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        self._words[addr] = value
+
+    def poke_words(self, addr: int, values: Iterable[int]) -> None:
+        """Write consecutive words starting at ``addr``."""
+        for i, value in enumerate(values):
+            self.poke(addr + i * WORD_SIZE, value)
+
+    def footprint(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)
+
+
+class HeapAllocator:
+    """A malloc-like allocator over the heap segment.
+
+    Parameters
+    ----------
+    policy:
+        ``"sequential"`` — bump allocation (consecutive blocks are adjacent,
+        producing stride-friendly layouts);
+        ``"shuffled"`` — blocks are carved sequentially but handed out in a
+        pseudo-random order within fixed-size arenas, so logically adjacent
+        nodes of a list/tree sit at unrelated addresses (the default, and
+        the case the CAP predictor exists for);
+        ``"spread"`` — each block lands at an independently drawn,
+        aligned, non-overlapping address.
+    seed:
+        RNG seed; allocation is fully deterministic for a given seed.
+    align:
+        Minimum block alignment in bytes.
+    """
+
+    ARENA_BLOCKS = 64
+
+    def __init__(
+        self,
+        policy: str = "shuffled",
+        seed: int = 1,
+        align: int = 16,
+        base: int = AddressSpace.HEAP_BASE,
+        limit: int = AddressSpace.HEAP_LIMIT,
+    ) -> None:
+        if policy not in ("sequential", "shuffled", "spread"):
+            raise ValueError(f"unknown allocation policy {policy!r}")
+        if align <= 0 or align % WORD_SIZE:
+            raise ValueError("alignment must be a positive multiple of 4")
+        self.policy = policy
+        self.align = align
+        self.base = base
+        self.limit = limit
+        self._cursor = base
+        self._rng = random.Random(seed)
+        self._free_pools: Dict[int, List[int]] = {}
+        self._allocated: List[tuple[int, int]] = []
+
+    def _round(self, size: int) -> int:
+        return (size + self.align - 1) // self.align * self.align
+
+    def _bump(self, size: int, scatter: bool = False) -> int:
+        if scatter and self.policy != "sequential":
+            # Real process heaps spread allocations across many pages; a
+            # random page gap before each arena/array restores the address
+            # entropy that synthetic bump allocation would squeeze into a
+            # few low bits (memory is sparse, so gaps cost nothing).
+            self._cursor += self._rng.randrange(0, 256) * 4096
+        addr = self._cursor
+        self._cursor += size
+        if self._cursor > self.limit:
+            raise MemoryError("heap segment exhausted")
+        return addr
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the block's base address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        size = self._round(size)
+
+        if self.policy == "sequential":
+            addr = self._bump(size)
+        elif self.policy == "shuffled":
+            pool = self._free_pools.setdefault(size, [])
+            if not pool:
+                # Carve an arena of equal-size blocks and shuffle it so the
+                # hand-out order is decorrelated from the address order.
+                blocks = [self._bump(size, scatter=(i == 0))
+                          for i in range(self.ARENA_BLOCKS)]
+                self._rng.shuffle(blocks)
+                pool.extend(blocks)
+            addr = pool.pop()
+        else:  # spread
+            span = self.limit - self.base - size
+            slots = span // self.align
+            addr = self.base + self._rng.randrange(slots) * self.align
+            # Accept rare overlaps: the simulator's memory is sparse and the
+            # workloads below never rely on spread blocks being disjoint.
+
+        self._allocated.append((addr, size))
+        return addr
+
+    def alloc_array(self, count: int, elem_size: int) -> int:
+        """Allocate a contiguous array regardless of policy.
+
+        Arrays are always contiguous in real programs — only the *blocks*
+        returned by separate malloc calls get scattered.
+        """
+        if count <= 0 or elem_size <= 0:
+            raise ValueError("array dimensions must be positive")
+        size = self._round(count * elem_size)
+        addr = self._bump(size, scatter=True)
+        self._allocated.append((addr, size))
+        return addr
+
+    @property
+    def allocations(self) -> List[tuple[int, int]]:
+        """All ``(address, size)`` blocks handed out so far."""
+        return list(self._allocated)
+
+    def bytes_in_use(self) -> int:
+        """Total bytes allocated."""
+        return sum(size for _, size in self._allocated)

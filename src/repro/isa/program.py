@@ -1,0 +1,268 @@
+"""Program container and a fluent builder with label resolution.
+
+Workload generators construct programs through :class:`ProgramBuilder`;
+hand-written snippets (examples, tests) can also use the text assembler in
+:mod:`repro.isa.assembler`.  Both produce a :class:`Program` whose branch
+targets are resolved to instruction indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .instructions import Instruction, Op
+from .memory import AddressSpace
+
+__all__ = ["Program", "ProgramBuilder", "UnresolvedLabelError"]
+
+
+class UnresolvedLabelError(Exception):
+    """A control-flow target names a label that was never defined."""
+
+
+class Program:
+    """An immutable sequence of resolved instructions.
+
+    Instruction ``i`` lives at byte address ``code_base + 4*i``; that address
+    is the instruction pointer (IP) the predictors index their Load Buffer
+    with.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        code_base: int = AddressSpace.CODE_BASE,
+        name: str = "",
+    ) -> None:
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.code_base = code_base
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.instructions)
+        for idx, instr in enumerate(self.instructions):
+            if instr.is_control and instr.op not in (Op.RET, Op.JR):
+                target = instr.target
+                if not isinstance(target, int):
+                    raise UnresolvedLabelError(
+                        f"instruction {idx} ({instr}) has unresolved target"
+                        f" {target!r}"
+                    )
+                if not 0 <= target < n:
+                    raise ValueError(
+                        f"instruction {idx} ({instr}) targets index {target}"
+                        f" outside program of length {n}"
+                    )
+
+    def ip_of(self, index: int) -> int:
+        """Byte address of instruction ``index``."""
+        return self.code_base + 4 * index
+
+    def index_of_ip(self, ip: int) -> int:
+        """Instruction index for byte address ``ip``."""
+        offset = ip - self.code_base
+        if offset % 4 or not 0 <= offset // 4 < len(self.instructions):
+            raise ValueError(f"IP {ip:#x} is not in this program")
+        return offset // 4
+
+    def entry(self, label: str = "main") -> int:
+        """Index of a named entry point (defaults to ``main``, else 0)."""
+        if label in self.labels:
+            return self.labels[label]
+        if label == "main":
+            return 0
+        raise KeyError(f"no label {label!r} in program {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels and addresses."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for idx, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(idx, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {self.ip_of(idx):#010x}  {instr}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Accumulates instructions and labels, then resolves into a Program.
+
+    Labels may be referenced before definition; resolution happens in
+    :meth:`build`.  Convenience emitters exist for every opcode so workload
+    generators read like assembly::
+
+        b = ProgramBuilder("walk")
+        b.label("loop")
+        b.ld(1, base=2, offset=8)     # ld r1, 8(r2)
+        b.bne(1, 0, "loop")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "", code_base: int = AddressSpace.CODE_BASE):
+        self.name = name
+        self.code_base = code_base
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    # -- core -------------------------------------------------------------
+
+    def emit(self, instr: Instruction) -> "ProgramBuilder":
+        """Append a raw instruction."""
+        self._instructions.append(instr)
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ValueError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    def fresh_label(self, stem: str) -> str:
+        """Generate a unique label name with the given stem."""
+        i = 0
+        while f"{stem}_{i}" in self._labels:
+            i += 1
+        name = f"{stem}_{i}"
+        # Reserve without defining: record by defining lazily is racy, so we
+        # simply rely on the caller to define it exactly once.
+        return name
+
+    # -- emitters -----------------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.LI, rd=rd, imm=imm))
+
+    def mov(self, rd: int, rs: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MOV, rd=rd, rs1=rs))
+
+    def _rrr(self, op: Op, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def add(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.SUB, rd, rs1, rs2)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.MUL, rd, rs1, rs2)
+
+    def div(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.DIV, rd, rs1, rs2)
+
+    def mod(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.MOD, rd, rs1, rs2)
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.AND, rd, rs1, rs2)
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.OR, rd, rs1, rs2)
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.XOR, rd, rs1, rs2)
+
+    def shl(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.SHL, rd, rs1, rs2)
+
+    def shr(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Op.SHR, rd, rs1, rs2)
+
+    def addi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.ADDI, rd=rd, rs1=rs1, imm=imm))
+
+    def muli(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MULI, rd=rd, rs1=rs1, imm=imm))
+
+    def andi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.ANDI, rd=rd, rs1=rs1, imm=imm))
+
+    def ld(self, rd: int, base: int, offset: int = 0) -> "ProgramBuilder":
+        """``ld rd, offset(base)`` — the load predictors watch."""
+        return self.emit(Instruction(Op.LD, rd=rd, rs1=base, imm=offset))
+
+    def st(self, rs: int, base: int, offset: int = 0) -> "ProgramBuilder":
+        """``st rs, offset(base)``."""
+        return self.emit(Instruction(Op.ST, rs1=base, rs2=rs, imm=offset))
+
+    def _branch(self, op: Op, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(op, rs1=rs1, rs2=rs2, target=label))
+
+    def beq(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        return self._branch(Op.BEQ, rs1, rs2, label)
+
+    def bne(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        return self._branch(Op.BNE, rs1, rs2, label)
+
+    def blt(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        return self._branch(Op.BLT, rs1, rs2, label)
+
+    def bge(self, rs1: int, rs2: int, label: str) -> "ProgramBuilder":
+        return self._branch(Op.BGE, rs1, rs2, label)
+
+    def jmp(self, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.JMP, target=label))
+
+    def call(self, label: str) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.CALL, target=label))
+
+    def ret(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.RET))
+
+    def jr(self, rs: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.JR, rs1=rs))
+
+    def push(self, rs: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.PUSH, rs2=rs))
+
+    def pop(self, rd: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.POP, rd=rd))
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.NOP))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.HALT))
+
+    # -- resolution --------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        resolved: List[Instruction] = []
+        for idx, instr in enumerate(self._instructions):
+            if isinstance(instr.target, str):
+                if instr.target not in self._labels:
+                    raise UnresolvedLabelError(
+                        f"instruction {idx} ({instr.op.value}) references"
+                        f" undefined label {instr.target!r}"
+                    )
+                instr = Instruction(
+                    op=instr.op,
+                    rd=instr.rd,
+                    rs1=instr.rs1,
+                    rs2=instr.rs2,
+                    imm=instr.imm,
+                    target=self._labels[instr.target],
+                )
+            resolved.append(instr)
+        return Program(
+            resolved, labels=self._labels, code_base=self.code_base,
+            name=self.name,
+        )

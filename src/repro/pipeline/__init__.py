@@ -1,0 +1,6 @@
+"""Pipelined prediction model: prediction gap, speculative state, catch-up."""
+
+from .branch import BranchPredictor, BranchPredictorConfig
+from .delayed import PipelinedPredictor
+
+__all__ = ["BranchPredictor", "BranchPredictorConfig", "PipelinedPredictor"]

@@ -1,0 +1,91 @@
+"""A conventional g-share branch predictor.
+
+Used in two places:
+
+* the pipelined predictor model — a branch misprediction drains the
+  in-flight prediction queue, the "dynamic event" the paper relies on to
+  terminate context-predictor misprediction chains (Section 5.2);
+* the out-of-order timing model — branch mispredictions bound the useful
+  fetch window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitops import fold_xor, mask
+
+__all__ = ["BranchPredictorConfig", "BranchPredictor"]
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Geometry of the g-share predictor."""
+
+    entries: int = 4096
+    history_bits: int = 12
+    counter_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.entries & (self.entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 1 <= self.counter_bits <= 4:
+            raise ValueError("counter_bits must be in [1, 4]")
+
+
+class BranchPredictor:
+    """g-share: counters indexed by (folded IP) xor (global history)."""
+
+    def __init__(self, config: BranchPredictorConfig | None = None) -> None:
+        self.config = config or BranchPredictorConfig()
+        self.index_bits = self.config.entries.bit_length() - 1
+        self._index_mask = mask(self.index_bits)
+        self._history_mask = mask(self.config.history_bits)
+        self._max_counter = mask(self.config.counter_bits)
+        self._threshold = (self._max_counter + 1) // 2
+        # Weakly taken initial state: loops predict well from the start.
+        self._counters = [self._threshold] * self.config.entries
+        self.history = 0
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def _index(self, ip: int) -> int:
+        return (
+            fold_xor(ip >> 2, self.index_bits)
+            ^ (self.history & self._index_mask)
+        ) & self._index_mask
+
+    def predict(self, ip: int) -> bool:
+        """Predicted direction for the branch at ``ip``."""
+        return self._counters[self._index(ip)] >= self._threshold
+
+    def update(self, ip: int, taken: bool) -> bool:
+        """Predict, train, advance history; returns whether we were right."""
+        self.lookups += 1
+        index = self._index(ip)
+        counter = self._counters[index]
+        predicted = counter >= self._threshold
+        if taken:
+            if counter < self._max_counter:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self._history_mask
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correctly predicted branches so far."""
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.mispredictions / self.lookups
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+        self._counters = [self._threshold] * self.config.entries
+        self.history = 0
+        self.lookups = 0
+        self.mispredictions = 0

@@ -1,0 +1,155 @@
+"""Variable-history-length CAP (the paper's Section 6 future work).
+
+    "Improving the predictor by applying novel ideas like variable history
+    length, history correlation, etc.  These ideas were tried on branch
+    prediction and they seem promising."
+
+Figure 9 shows the tension: short histories train fast and suit simple
+RDS fields; long histories disambiguate control-correlated repetitions.
+:class:`VariableHistoryCAP` runs a short-history and a long-history CAP
+component side by side (each with its own half-sized Link Table) and picks
+per static load with a 2-bit chooser — the same tournament idea the
+hybrid uses between stride and CAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..common.sat_counter import UpDownCounter
+from ..common.tables import SetAssociativeTable
+from .base import AddressPredictor, Prediction, lb_key
+from .cap import CAPComponent, CAPConfig, CAPState
+
+__all__ = ["VariableHistoryConfig", "VariableHistoryCAP"]
+
+
+@dataclass(frozen=True)
+class VariableHistoryConfig:
+    """Two history lengths sharing one storage budget."""
+
+    base: CAPConfig = CAPConfig()
+    short_length: int = 2
+    long_length: int = 6
+    chooser_bits: int = 2
+    chooser_init: int = 2  # weakly favour the long history
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.short_length < self.long_length:
+            raise ValueError("need 1 <= short_length < long_length")
+
+    def component_config(self, length: int) -> CAPConfig:
+        """Halve the LT so the pair costs what one baseline CAP costs."""
+        lt = replace(self.base.lt, entries=max(2, self.base.lt.entries // 2))
+        return replace(self.base, history_length=length, lt=lt)
+
+
+class _Entry:
+    __slots__ = ("short", "long", "chooser")
+
+    def __init__(self, config: VariableHistoryConfig, offset: int) -> None:
+        self.short = CAPState(config.component_config(config.short_length), offset)
+        self.long = CAPState(config.component_config(config.long_length), offset)
+        self.chooser = UpDownCounter(
+            width=config.chooser_bits, initial=config.chooser_init
+        )
+
+
+class VariableHistoryCAP(AddressPredictor):
+    """Tournament of a short-history and a long-history CAP."""
+
+    def __init__(self, config: VariableHistoryConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or VariableHistoryConfig()
+        self.short = CAPComponent(
+            self.config.component_config(self.config.short_length)
+        )
+        self.long = CAPComponent(
+            self.config.component_config(self.config.long_length)
+        )
+        self.load_buffer: SetAssociativeTable[_Entry] = SetAssociativeTable(
+            self.config.base.lb_entries, self.config.base.lb_ways
+        )
+        self.speculative_mode = False
+
+    def predict(self, ip: int, offset: int) -> Prediction:
+        entry = self.load_buffer.lookup(lb_key(ip))
+        if entry is None:
+            entry = _Entry(self.config, offset)
+            if self.speculative_mode:
+                entry.short.pending = 1
+                entry.long.pending = 1
+            self.load_buffer.insert(lb_key(ip), entry)
+            return Prediction(source="vh-cap", ghr=self.ghr)
+
+        ghr = self.ghr
+        short_pred = self.short.predict(
+            entry.short, ghr, speculative_mode=self.speculative_mode
+        )
+        long_pred = self.long.predict(
+            entry.long, ghr, speculative_mode=self.speculative_mode
+        )
+
+        if long_pred.speculative and short_pred.speculative:
+            chosen = long_pred if entry.chooser.favors_high else short_pred
+        elif long_pred.speculative:
+            chosen = long_pred
+        elif short_pred.speculative:
+            chosen = short_pred
+        elif long_pred.made:
+            chosen = long_pred
+        else:
+            chosen = short_pred
+
+        return Prediction(
+            address=chosen.address,
+            speculative=chosen.speculative,
+            source="vh-cap",
+            ghr=ghr,
+            info={"short": short_pred, "long": long_pred},
+        )
+
+    def update(self, ip: int, offset: int, actual: int, prediction: Prediction) -> None:
+        entry = self.load_buffer.lookup(lb_key(ip))
+        if entry is None:
+            entry = _Entry(self.config, offset)
+            self.load_buffer.insert(lb_key(ip), entry)
+
+        info = prediction.info or {}
+        short_pred = info.get("short")
+        long_pred = info.get("long")
+        short_addr = short_pred.address if short_pred else None
+        long_addr = long_pred.address if long_pred else None
+
+        self.short.train(
+            entry.short, actual,
+            predicted_addr=short_addr,
+            ghr_at_predict=prediction.ghr,
+            speculated=prediction.speculative,
+            speculative_mode=self.speculative_mode,
+        )
+        self.long.train(
+            entry.long, actual,
+            predicted_addr=long_addr,
+            ghr_at_predict=prediction.ghr,
+            speculated=prediction.speculative,
+            speculative_mode=self.speculative_mode,
+        )
+
+        if short_addr is not None and long_addr is not None:
+            short_ok = short_addr == actual
+            long_ok = long_addr == actual
+            if long_ok and not short_ok:
+                entry.chooser.up()
+            elif short_ok and not long_ok:
+                entry.chooser.down()
+
+    def reset(self) -> None:
+        super().reset()
+        self.load_buffer.clear()
+        self.short.reset()
+        self.long.reset()
+
+    @property
+    def name(self) -> str:
+        return "variable-history-cap"

@@ -1,0 +1,87 @@
+"""Confidence mechanisms beyond plain saturating counters (Section 3.4).
+
+Implements the **control-flow indication** (CFI) scheme: when a speculative
+access turns out wrong, the ``n`` LSBs of the global branch-history
+register are recorded; later predictions whose current GHR matches the
+recorded pattern are not speculated.  The "advanced" variant keeps a
+``2**n``-bit correctness bitmap — one bit per control-flow path — instead
+of just the last offending pattern.
+"""
+
+from __future__ import annotations
+
+from ..common.bitops import mask
+
+__all__ = ["ControlFlowIndication", "CFI_OFF", "CFI_LAST", "CFI_PATHS"]
+
+CFI_OFF = "off"
+CFI_LAST = "last"
+CFI_PATHS = "paths"
+
+
+class ControlFlowIndication:
+    """Per-load control-flow confidence filter.
+
+    Parameters
+    ----------
+    mode:
+        ``"off"`` — never blocks;
+        ``"last"`` — blocks when the GHR matches the pattern recorded at the
+        last misprediction (the paper's basic scheme);
+        ``"paths"`` — one correctness bit per GHR pattern, blocking on the
+        paths whose most recent speculative access missed (the paper's
+        advanced scheme).
+    bits:
+        Number of GHR LSBs considered (1 to 4 in the paper).
+    """
+
+    __slots__ = ("mode", "bits", "_mask", "_bad_pattern", "_path_bad")
+
+    def __init__(self, mode: str = CFI_LAST, bits: int = 4) -> None:
+        if mode not in (CFI_OFF, CFI_LAST, CFI_PATHS):
+            raise ValueError(f"unknown CFI mode {mode!r}")
+        if not 1 <= bits <= 16:
+            raise ValueError(f"CFI bits must be in [1, 16], got {bits}")
+        self.mode = mode
+        self.bits = bits
+        self._mask = mask(bits)
+        self._bad_pattern: int | None = None
+        self._path_bad = 0  # bitmap: bit p set => path p missed last time
+
+    def allows(self, ghr: int) -> bool:
+        """Whether a speculative access may proceed under this GHR."""
+        if self.mode == CFI_OFF:
+            return True
+        pattern = ghr & self._mask
+        if self.mode == CFI_LAST:
+            return pattern != self._bad_pattern
+        return not (self._path_bad >> pattern) & 1
+
+    def record(self, ghr: int, correct: bool, speculated: bool = True) -> None:
+        """Train on a verified prediction made under ``ghr``.
+
+        A *bad* pattern is recorded only when a speculative access was
+        actually wrong (the paper's rule).  A correct prediction clears the
+        pattern even when it was not speculated: predictions are verified
+        at address generation regardless, and without this redemption a
+        blocked path could never unblock itself (the speculation needed to
+        re-test it is exactly what the filter suppresses).
+        """
+        if self.mode == CFI_OFF:
+            return
+        pattern = ghr & self._mask
+        if self.mode == CFI_LAST:
+            if not correct and speculated:
+                self._bad_pattern = pattern
+            elif correct and self._bad_pattern == pattern:
+                self._bad_pattern = None
+        else:
+            if correct:
+                self._path_bad &= ~(1 << pattern)
+            elif speculated:
+                self._path_bad |= 1 << pattern
+
+    def reset(self) -> None:
+        """Forget all recorded patterns."""
+        self._bad_pattern = None
+        self._path_bad = 0

@@ -1,0 +1,98 @@
+"""The shift(m)-xor history compaction scheme (paper Section 3.2).
+
+A load's context is the ordered sequence of its recent (base) addresses.
+Since concatenating whole addresses is far too wide to index the Link
+Table, the paper compresses the sequence into a small *history value*:
+
+    new_history = truncate((history << m) ^ subset(address))
+
+where ``subset(address)`` drops the two LSBs (which only matter for
+unaligned accesses) and keeps the least-significant remaining bits.  The
+left shift ages older addresses out after ``ceil(width / m)`` updates, so
+the *effective history length* L (number of addresses that still influence
+the value) is set by choosing ``m = ceil(width / L)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common.bitops import fold_xor, mask
+
+__all__ = ["HistoryFunction", "shift_for_length"]
+
+
+def shift_for_length(width: int, length: int) -> int:
+    """Shift amount ``m`` giving an effective history of ``length`` addresses.
+
+    An address contributes to the history value for exactly
+    ``ceil(width / m)`` updates before the left shifts push its last bit
+    out, so ``m = ceil(width / length)``.
+    """
+    if width <= 0 or length <= 0:
+        raise ValueError("width and length must be positive")
+    return max(1, math.ceil(width / length))
+
+
+class HistoryFunction:
+    """Pure function object computing shift(m)-xor history updates.
+
+    Parameters
+    ----------
+    width:
+        Total history width in bits — LT index bits plus LT tag bits.
+    length:
+        Effective history length (number of past addresses).  The paper's
+        default configuration uses 4 (Section 4.5, Figure 9).
+    drop_low_bits:
+        Address LSBs excluded from the hash (2 in the paper: they only
+        matter on unaligned accesses).
+    hash_bits:
+        How many address bits (after dropping the low ones) feed each
+        update; defaults to the history width.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        length: int = 4,
+        drop_low_bits: int = 2,
+        hash_bits: int | None = None,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"history width must be positive, got {width}")
+        if drop_low_bits < 0:
+            raise ValueError("drop_low_bits must be non-negative")
+        self.width = width
+        self.length = length
+        self.shift = shift_for_length(width, length)
+        self.drop_low_bits = drop_low_bits
+        self.hash_bits = width if hash_bits is None else hash_bits
+        self._mask = mask(width)
+        self._hash_mask = mask(self.hash_bits)
+
+    def update(self, history: int, address: int) -> int:
+        """Fold ``address`` into ``history`` and return the new value.
+
+        The address subset drops the two LSBs and then xor-folds *all*
+        remaining bits down to ``hash_bits`` — so the address-space
+        segment (its MSBs) still influences the history.  A plain
+        truncation would make every segment's small offsets collide in
+        history space, and a systematic collision freezes a stale link
+        behind the PF filter forever.
+        """
+        subset = fold_xor(address >> self.drop_low_bits, self.hash_bits)
+        return ((history << self.shift) ^ subset) & self._mask
+
+    def fold_sequence(self, addresses) -> int:
+        """History value after observing ``addresses`` from a zero start."""
+        history = 0
+        for address in addresses:
+            history = self.update(history, address)
+        return history
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HistoryFunction(width={self.width}, length={self.length},"
+            f" shift={self.shift})"
+        )

@@ -1,0 +1,100 @@
+"""Ideal (unbounded) context predictor — the [Saze97] upper bound.
+
+The paper builds on Sazeides & Smith's definition of context-based
+prediction and their study of *ideal* context predictors.  This module
+implements that reference model: an order-``k`` Markov predictor with
+unbounded storage and no hashing, confidence, or replacement — every
+context maps exactly to the value that followed it last time.
+
+It is not implementable hardware; it answers "how much of the remaining
+predictability does the finite CAP actually capture?" (see
+``benchmarks/test_ideal_gap.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from .base import AddressPredictor, Prediction
+
+__all__ = ["IdealContextConfig", "IdealContextPredictor"]
+
+
+@dataclass(frozen=True)
+class IdealContextConfig:
+    """Order and scope of the ideal model."""
+
+    order: int = 4
+    #: Share contexts across static loads (the ideal analogue of the
+    #: paper's global correlation) or keep them per-load.
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+
+
+class _LoadContext:
+    __slots__ = ("history",)
+
+    def __init__(self, order: int) -> None:
+        self.history: Deque[int] = deque(maxlen=order)
+
+
+class IdealContextPredictor(AddressPredictor):
+    """Unbounded order-k Markov model over per-load address streams."""
+
+    def __init__(self, config: IdealContextConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or IdealContextConfig()
+        self._contexts: Dict[int, _LoadContext] = {}
+        # (scope key, context tuple) -> next address
+        self._links: Dict[Tuple, int] = {}
+
+    def _scope(self, ip: int) -> Optional[int]:
+        return None if self.config.shared else ip
+
+    def _state(self, ip: int) -> _LoadContext:
+        state = self._contexts.get(ip)
+        if state is None:
+            state = _LoadContext(self.config.order)
+            self._contexts[ip] = state
+        return state
+
+    def predict(self, ip: int, offset: int) -> Prediction:
+        state = self._state(ip)
+        if len(state.history) < self.config.order:
+            return Prediction(source="ideal", ghr=self.ghr)
+        key = (self._scope(ip), tuple(state.history))
+        address = self._links.get(key)
+        if address is None:
+            return Prediction(source="ideal", ghr=self.ghr)
+        # The ideal model is always "confident": it reports exactly what
+        # followed this context before.
+        return Prediction(
+            address=address, speculative=True, source="ideal", ghr=self.ghr,
+        )
+
+    def update(self, ip: int, offset: int, actual: int, prediction: Prediction) -> None:
+        state = self._state(ip)
+        if len(state.history) == self.config.order:
+            key = (self._scope(ip), tuple(state.history))
+            self._links[key] = actual
+        state.history.append(actual)
+
+    def reset(self) -> None:
+        super().reset()
+        self._contexts.clear()
+        self._links.clear()
+
+    @property
+    def table_size(self) -> int:
+        """Number of distinct contexts stored (unbounded by design)."""
+        return len(self._links)
+
+    @property
+    def name(self) -> str:
+        scope = "shared" if self.config.shared else "per-load"
+        return f"ideal-o{self.config.order}-{scope}"

@@ -1,0 +1,119 @@
+"""Profile-assisted address prediction (the paper's Section 6 future work).
+
+    "Profile feedback/Software assist: to ease the hardware work by
+    letting the compiler/profiler classify loads according to the expected
+    address pattern: last value, stride, context based, unknown...  This
+    reduces warm-up time, helps reducing predictor size, and eliminates
+    prediction table pollution."
+
+:func:`build_profile` runs the Section 2 analysis over a profiling trace
+and produces a per-static-load classification.  The
+:class:`ProfileGuidedPredictor` then routes each load to the component its
+class calls for — constant/stride loads never touch the Link Table,
+irregular loads never touch any table — so the same prediction quality
+needs smaller structures and no PF-style pollution defence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.patterns import (
+    CLASS_CONSTANT,
+    CLASS_CONTEXT,
+    CLASS_IRREGULAR,
+    CLASS_STRIDE,
+    analyze_trace,
+)
+from ..trace.trace import Trace
+from .base import AddressPredictor, Prediction
+from .cap import CAPConfig, CAPPredictor
+from .stride import StrideConfig, StridePredictor
+
+__all__ = ["build_profile", "ProfileGuidedPredictor"]
+
+
+def build_profile(trace: Trace, min_samples: int = 8) -> Dict[int, str]:
+    """Profile a trace into ``{load IP: pattern class}``.
+
+    This models the compiler/profiler pass: it may run on a different
+    (training) input than the evaluation trace, just like real
+    profile-guided optimisation.
+    """
+    analysis = analyze_trace(trace, min_samples=min_samples)
+    return {profile.ip: profile.classification for profile in analysis.profiles}
+
+
+class ProfileGuidedPredictor(AddressPredictor):
+    """Route loads to components by their profiled pattern class.
+
+    * ``constant`` / ``stride`` -> the stride component (a stride predictor
+      with delta 0 *is* a last-address predictor), keeping the Link Table
+      untouched;
+    * ``context`` -> the CAP component;
+    * ``irregular`` -> no table is allocated, trained or polluted;
+    * unprofiled loads fall back to a configurable default class.
+    """
+
+    def __init__(
+        self,
+        profile: Dict[int, str],
+        stride_config: Optional[StrideConfig] = None,
+        cap_config: Optional[CAPConfig] = None,
+        default_class: str = CLASS_STRIDE,
+    ) -> None:
+        super().__init__()
+        if default_class not in (
+            CLASS_CONSTANT, CLASS_STRIDE, CLASS_CONTEXT, CLASS_IRREGULAR,
+        ):
+            raise ValueError(f"unknown default class {default_class!r}")
+        self.profile = dict(profile)
+        self.default_class = default_class
+        self.stride = StridePredictor(stride_config)
+        self.cap = CAPPredictor(cap_config)
+        self.speculative_mode = False
+        # Statistics: how much table traffic the profile suppressed.
+        self.suppressed_loads = 0
+
+    def _route(self, ip: int) -> str:
+        return self.profile.get(ip, self.default_class)
+
+    def _sync_modes(self) -> None:
+        self.stride.speculative_mode = self.speculative_mode
+        self.cap.speculative_mode = self.speculative_mode
+
+    # -- predictor interface ----------------------------------------------
+
+    def predict(self, ip: int, offset: int) -> Prediction:
+        self._sync_modes()
+        route = self._route(ip)
+        if route == CLASS_IRREGULAR:
+            self.suppressed_loads += 1
+            return Prediction(source="suppressed", ghr=self.ghr)
+        if route == CLASS_CONTEXT:
+            return self.cap.predict(ip, offset)
+        return self.stride.predict(ip, offset)
+
+    def update(self, ip: int, offset: int, actual: int, prediction: Prediction) -> None:
+        route = self._route(ip)
+        if route == CLASS_IRREGULAR:
+            return  # pollution eliminated: no table is ever written
+        if route == CLASS_CONTEXT:
+            self.cap.update(ip, offset, actual, prediction)
+        else:
+            self.stride.update(ip, offset, actual, prediction)
+
+    def on_branch(self, ip: int, taken: bool) -> None:
+        super().on_branch(ip, taken)
+        self.stride.on_branch(ip, taken)
+        self.cap.on_branch(ip, taken)
+
+    def reset(self) -> None:
+        super().reset()
+        self.stride.reset()
+        self.cap.reset()
+        self.suppressed_loads = 0
+
+    @property
+    def name(self) -> str:
+        return "profile-guided"

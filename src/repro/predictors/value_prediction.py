@@ -1,0 +1,176 @@
+"""Load-*value* predictors, for the Section 1 comparison.
+
+The paper positions address prediction against load-value prediction
+([Lipa96a]): "However, its lower predictability makes this option less
+attractive."  To reproduce that claim we implement the standard last-value
+and stride-value predictors over the *data* a load returns and measure
+their predictability side by side with the address predictors
+(``benchmarks/test_value_vs_address.py``).
+
+Value predictors consume ``(ip, loaded_value)`` pairs from
+:meth:`repro.trace.Trace.value_stream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..common.bitops import mask
+from ..common.sat_counter import SaturatingCounter
+from ..common.tables import SetAssociativeTable
+from .base import lb_key
+
+__all__ = [
+    "ValuePredictorConfig",
+    "LastValuePredictor",
+    "StrideValuePredictor",
+    "ValueMetrics",
+    "run_value_predictor",
+]
+
+_MASK32 = mask(32)
+
+
+@dataclass(frozen=True)
+class ValuePredictorConfig:
+    """Table geometry and confidence for the value predictors."""
+
+    entries: int = 4096
+    ways: int = 2
+    confidence_threshold: int = 2
+
+
+@dataclass
+class ValueMetrics:
+    """Predictability counters over dynamic loads."""
+
+    loads: int = 0
+    predictions: int = 0
+    speculative: int = 0
+    correct_speculative: int = 0
+    correct_predictions: int = 0
+
+    @property
+    def prediction_rate(self) -> float:
+        """Confident predictions / all loads."""
+        return self.speculative / self.loads if self.loads else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correct / confident predictions."""
+        if not self.speculative:
+            return 0.0
+        return self.correct_speculative / self.speculative
+
+    @property
+    def predictability(self) -> float:
+        """Correct raw predictions / all loads (confidence-free ceiling)."""
+        return self.correct_predictions / self.loads if self.loads else 0.0
+
+    def add(self, other: "ValueMetrics") -> None:
+        """Accumulate another metrics object into this one."""
+        self.loads += other.loads
+        self.predictions += other.predictions
+        self.speculative += other.speculative
+        self.correct_speculative += other.correct_speculative
+        self.correct_predictions += other.correct_predictions
+
+
+class _LastValueEntry:
+    __slots__ = ("value", "confidence")
+
+    def __init__(self, config: ValuePredictorConfig) -> None:
+        self.value: Optional[int] = None
+        self.confidence = SaturatingCounter(config.confidence_threshold)
+
+
+class LastValuePredictor:
+    """V(N+1) = V(N), the [Lipa96a] baseline."""
+
+    name = "last-value"
+
+    def __init__(self, config: ValuePredictorConfig | None = None) -> None:
+        self.config = config or ValuePredictorConfig()
+        self.table: SetAssociativeTable[_LastValueEntry] = SetAssociativeTable(
+            self.config.entries, self.config.ways
+        )
+
+    def predict(self, ip: int) -> Tuple[Optional[int], bool]:
+        """Return ``(predicted_value, confident)``."""
+        entry = self.table.lookup(lb_key(ip))
+        if entry is None or entry.value is None:
+            return None, False
+        return entry.value, entry.confidence.confident
+
+    def update(self, ip: int, actual: int) -> None:
+        """Train on the observed loaded value."""
+        entry, _ = self.table.get_or_insert(
+            lb_key(ip), lambda: _LastValueEntry(self.config)
+        )
+        if entry.value is not None:
+            entry.confidence.update(entry.value == actual)
+        entry.value = actual
+
+
+class _StrideValueEntry:
+    __slots__ = ("last", "stride", "last_delta", "confidence")
+
+    def __init__(self, config: ValuePredictorConfig) -> None:
+        self.last: Optional[int] = None
+        self.stride = 0
+        self.last_delta: Optional[int] = None
+        self.confidence = SaturatingCounter(config.confidence_threshold)
+
+
+class StrideValuePredictor:
+    """V(N+1) = V(N) + (V(N) - V(N-1)) with two-delta filtering."""
+
+    name = "stride-value"
+
+    def __init__(self, config: ValuePredictorConfig | None = None) -> None:
+        self.config = config or ValuePredictorConfig()
+        self.table: SetAssociativeTable[_StrideValueEntry] = SetAssociativeTable(
+            self.config.entries, self.config.ways
+        )
+
+    def predict(self, ip: int) -> Tuple[Optional[int], bool]:
+        """Return ``(predicted_value, confident)``."""
+        entry = self.table.lookup(lb_key(ip))
+        if entry is None or entry.last is None:
+            return None, False
+        return (entry.last + entry.stride) & _MASK32, entry.confidence.confident
+
+    def update(self, ip: int, actual: int) -> None:
+        """Train on the observed loaded value."""
+        entry, _ = self.table.get_or_insert(
+            lb_key(ip), lambda: _StrideValueEntry(self.config)
+        )
+        if entry.last is not None:
+            predicted = (entry.last + entry.stride) & _MASK32
+            entry.confidence.update(predicted == actual)
+            delta = (actual - entry.last) & _MASK32
+            if entry.last_delta is not None and delta == entry.last_delta:
+                entry.stride = delta
+            entry.last_delta = delta
+        entry.last = actual
+
+
+def run_value_predictor(
+    predictor, pairs: Iterable[Tuple[int, int]]
+) -> ValueMetrics:
+    """Evaluate a value predictor over ``(ip, value)`` pairs."""
+    metrics = ValueMetrics()
+    for ip, value in pairs:
+        predicted, confident = predictor.predict(ip)
+        metrics.loads += 1
+        if predicted is not None:
+            metrics.predictions += 1
+            if predicted == value:
+                metrics.correct_predictions += 1
+            if confident:
+                metrics.speculative += 1
+                if predicted == value:
+                    metrics.correct_speculative += 1
+        predictor.update(ip, value)
+    return metrics

@@ -1,0 +1,18 @@
+"""Out-of-order timing model for the speedup experiments (Figures 7, 12)."""
+
+from .cache import CacheConfig, CacheHierarchy, CacheLevel
+from .machine import MachineConfig
+from .prefetch import PrefetchConfig, StridePrefetcher
+from .ooo import TimingResult, simulate, speedup
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "MachineConfig",
+    "PrefetchConfig",
+    "StridePrefetcher",
+    "TimingResult",
+    "simulate",
+    "speedup",
+]

@@ -1,0 +1,104 @@
+"""A two-level data-cache latency model.
+
+The paper's simulator has a 32KB L1 and a 1MB L2 (Section 4.1).  The
+timing model only needs a *latency* per access, so this is a classic
+set-associative tag simulator: every access returns the load-to-use
+latency implied by where the line was found, updating LRU state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitops import is_power_of_two, log2_exact
+
+__all__ = ["CacheConfig", "CacheLevel", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 32
+    ways: int = 4
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.size_bytes):
+            raise ValueError("size_bytes must be a power of two")
+        if not is_power_of_two(self.line_bytes):
+            raise ValueError("line_bytes must be a power of two")
+        lines = self.size_bytes // self.line_bytes
+        if self.ways < 1 or lines % self.ways:
+            raise ValueError("ways must divide the line count")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.ways
+
+
+class CacheLevel:
+    """One set-associative level with true-LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.offset_bits = log2_exact(config.line_bytes)
+        self.index_bits = log2_exact(config.num_sets)
+        # Per-set list of (tag, stamp); tiny ways so linear scan is fine.
+        self._sets: list[list] = [[] for _ in range(config.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch the line holding ``addr``; returns hit/miss."""
+        line = addr >> self.offset_bits
+        index = line & ((1 << self.index_bits) - 1)
+        tag = line >> self.index_bits
+        ways = self._sets[index]
+        self._clock += 1
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways[i] = (tag, self._clock)
+                self.hits += 1
+                return True
+        self.misses += 1
+        if len(ways) >= self.config.ways:
+            victim = min(range(len(ways)), key=lambda i: ways[i][1])
+            ways[victim] = (tag, self._clock)
+        else:
+            ways.append((tag, self._clock))
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """L1 + L2 + memory, reporting a latency per access."""
+
+    def __init__(
+        self,
+        l1: CacheConfig | None = None,
+        l2: CacheConfig | None = None,
+        l1_latency: int = 3,
+        l2_latency: int = 12,
+        memory_latency: int = 60,
+    ) -> None:
+        self.l1 = CacheLevel(l1 or CacheConfig())
+        self.l2 = CacheLevel(
+            l2 or CacheConfig(size_bytes=1024 * 1024, line_bytes=32, ways=8)
+        )
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.memory_latency = memory_latency
+
+    def access(self, addr: int) -> int:
+        """Return the load-to-use latency for this access."""
+        if self.l1.access(addr):
+            return self.l1_latency
+        if self.l2.access(addr):
+            return self.l2_latency
+        return self.memory_latency

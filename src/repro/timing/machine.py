@@ -1,0 +1,50 @@
+"""Machine configuration for the out-of-order timing model.
+
+Defaults follow the paper's Section 4.1 simulator: an 8-wide, 128-deep
+out-of-order core with a 32KB L1 / 1MB L2 hierarchy.  The two
+address-prediction knobs model its benefit and its cost:
+
+* ``prediction_lead`` — how many cycles of load latency a *correct*
+  speculative access hides (the prediction is made early in the front-end,
+  so the cache access overlaps fetch/decode/rename);
+* ``recovery_penalty`` — extra cycles a *wrong* speculative access adds to
+  the load (address verification plus the selective re-execution of the
+  dependent instructions that already consumed wrong data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the dataflow timing model."""
+
+    width: int = 8                  # fetch/issue width (instructions/cycle)
+    window: int = 128               # in-flight instruction window
+    memory_ports: int = 4           # data-cache ports (loads+stores/cycle)
+    alu_latency: int = 1
+    l1_latency: int = 3
+    l2_latency: int = 12
+    memory_latency: int = 60
+    branch_penalty: int = 8         # redirect cycles on a mispredict
+    prediction_lead: int = 8        # latency hidden by a correct prediction
+    recovery_penalty: int = 6       # extra latency on a wrong prediction
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.window < 1:
+            raise ValueError("width and window must be positive")
+        if self.memory_ports < 1:
+            raise ValueError("memory_ports must be positive")
+        if min(
+            self.alu_latency, self.l1_latency, self.l2_latency,
+            self.memory_latency,
+        ) < 1:
+            raise ValueError("latencies must be >= 1")
+        if self.branch_penalty < 0 or self.recovery_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        if self.prediction_lead < 0:
+            raise ValueError("prediction_lead must be non-negative")

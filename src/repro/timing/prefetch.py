@@ -1,0 +1,79 @@
+"""Stride-based data prefetching — the [Baer91]/[Gonz97] prior art.
+
+The paper's related-work section separates three latency-reduction camps:
+prefetching, value prediction and address prediction.  [Gonz97] in
+particular "proposed to share the same stride-based prediction structures
+to perform address prediction and data prefetching simultaneously."
+
+:class:`StridePrefetcher` reuses this package's stride tables to issue
+next-line prefetches into the cache hierarchy; the timing model accepts
+one so prediction-vs-prefetching(-vs-both) can be compared
+(``benchmarks/test_prefetch_comparison.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.bitops import mask
+from ..predictors.base import lb_key
+from ..predictors.stride import StrideConfig, StrideLogic, StrideState
+from ..common.tables import SetAssociativeTable
+from .cache import CacheHierarchy
+
+__all__ = ["PrefetchConfig", "StridePrefetcher"]
+
+_MASK32 = mask(32)
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Prefetcher parameters."""
+
+    entries: int = 4096
+    ways: int = 2
+    degree: int = 1          # how many strides ahead to prefetch
+    confidence_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("prefetch degree must be >= 1")
+
+
+class StridePrefetcher:
+    """Reference-prediction-table prefetcher over the stride component.
+
+    On every observed load it trains the per-IP stride state and, when the
+    stride is confident, touches ``addr + i*stride`` in the cache for
+    ``i = 1..degree``.  Unlike address prediction, no recovery is ever
+    needed — a wrong prefetch only wastes bandwidth (modelled as cache
+    pollution, which the tag simulator captures naturally).
+    """
+
+    def __init__(self, config: PrefetchConfig | None = None) -> None:
+        self.config = config or PrefetchConfig()
+        self.logic = StrideLogic(StrideConfig.basic(
+            confidence_threshold=self.config.confidence_threshold,
+        ))
+        self.table: SetAssociativeTable[StrideState] = SetAssociativeTable(
+            self.config.entries, self.config.ways
+        )
+        self.issued = 0
+
+    def observe(self, ip: int, addr: int, caches: CacheHierarchy) -> None:
+        """Train on a load and issue prefetches into ``caches``."""
+        state = self.table.lookup(lb_key(ip))
+        if state is None:
+            state = StrideState(self.logic.config)
+            self.table.insert(lb_key(ip), state)
+        # Issue before training so the prefetch uses the *learned* stride
+        # (training with this access would immediately chase a blip).
+        if (
+            state.last_addr is not None
+            and state.stride
+            and state.confidence.confident
+        ):
+            for i in range(1, self.config.degree + 1):
+                caches.access((addr + i * state.stride) & _MASK32)
+                self.issued += 1
+        self.logic.train(state, addr, ghr_at_predict=0, speculated=False)

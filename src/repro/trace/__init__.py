@@ -1,0 +1,34 @@
+"""Dynamic instruction traces: event encoding, storage, statistics."""
+
+from .event import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_NAMES,
+    KIND_RET,
+    KIND_STORE,
+    LOAD_KINDS,
+    STORE_KINDS,
+    LoadEvent,
+    TraceEvent,
+)
+from .trace import Trace, TraceSummary
+
+__all__ = [
+    "KIND_ALU",
+    "KIND_BRANCH",
+    "KIND_CALL",
+    "KIND_JUMP",
+    "KIND_LOAD",
+    "KIND_NAMES",
+    "KIND_RET",
+    "KIND_STORE",
+    "LOAD_KINDS",
+    "STORE_KINDS",
+    "LoadEvent",
+    "TraceEvent",
+    "Trace",
+    "TraceSummary",
+]

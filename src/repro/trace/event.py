@@ -1,0 +1,107 @@
+"""Trace event encoding.
+
+Traces are stored column-wise (parallel lists of ints) for compactness and
+speed; this module defines the event-kind codes, a tuple-of-columns schema,
+and small record views used at API boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "KIND_ALU",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "KIND_BRANCH",
+    "KIND_JUMP",
+    "KIND_CALL",
+    "KIND_RET",
+    "KIND_NAMES",
+    "LOAD_KINDS",
+    "STORE_KINDS",
+    "LoadEvent",
+    "TraceEvent",
+]
+
+#: Arithmetic / logic / move / nop — no memory or control side effects.
+KIND_ALU = 0
+#: Explicit loads (``ld``) and ``pop``.
+KIND_LOAD = 1
+#: Explicit stores (``st``) and ``push``.
+KIND_STORE = 2
+#: Conditional branch (updates the global branch-history register).
+KIND_BRANCH = 3
+#: Unconditional direct/indirect jump.
+KIND_JUMP = 4
+#: Call — stores the return address (a memory write).
+KIND_CALL = 5
+#: Return — loads the return address (a memory read).
+KIND_RET = 6
+
+KIND_NAMES = {
+    KIND_ALU: "alu",
+    KIND_LOAD: "load",
+    KIND_STORE: "store",
+    KIND_BRANCH: "branch",
+    KIND_JUMP: "jump",
+    KIND_CALL: "call",
+    KIND_RET: "ret",
+}
+
+#: Kinds whose events read memory.  Returns pop the return address off the
+#: stack, so the address predictors see them exactly as IA-32 predictors see
+#: ``ret`` micro-ops.
+LOAD_KINDS = frozenset({KIND_LOAD, KIND_RET})
+#: Kinds whose events write memory.
+STORE_KINDS = frozenset({KIND_STORE, KIND_CALL})
+
+
+class LoadEvent(NamedTuple):
+    """One dynamic load as seen by an address predictor.
+
+    Attributes
+    ----------
+    ip:
+        Instruction pointer of the static load.
+    addr:
+        Effective (virtual) address actually accessed.
+    offset:
+        The load's immediate offset, as encoded in the instruction.  CAP's
+        base-address scheme subtracts (the low bits of) this from ``addr``.
+    """
+
+    ip: int
+    addr: int
+    offset: int
+
+
+class TraceEvent(NamedTuple):
+    """A fully decoded dynamic instruction (row view over the columns)."""
+
+    index: int
+    kind: int
+    ip: int
+    addr: int        # effective address for memory ops, else 0
+    offset: int      # immediate offset for memory ops, else 0
+    dst: int         # destination register or -1
+    src1: int        # first source register or -1
+    src2: int        # second source register or -1
+    taken: int       # 1 if a taken branch/jump, else 0
+    value: int = 0   # data moved by loads/stores (value prediction)
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind in LOAD_KINDS
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind in STORE_KINDS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind == KIND_BRANCH
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES[self.kind]

@@ -1,0 +1,266 @@
+"""Column-oriented dynamic instruction traces.
+
+A :class:`Trace` is what the functional CPU produces and what every
+predictor, pipeline model and timing model consumes.  Events live in
+parallel Python lists (one per column) with numpy used only for (de-)
+serialisation; this keeps the hot recording path allocation-free apart from
+list appends.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .event import (
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_NAMES,
+    KIND_RET,
+    LOAD_KINDS,
+    STORE_KINDS,
+    LoadEvent,
+    TraceEvent,
+)
+
+__all__ = ["Trace", "TraceSummary"]
+
+_COLUMNS = (
+    "kind", "ip", "addr", "offset", "dst", "src1", "src2", "taken", "value",
+)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics of one trace."""
+
+    name: str
+    instructions: int
+    loads: int
+    stores: int
+    branches: int
+    taken_branches: int
+    static_loads: int
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def load_fraction(self) -> float:
+        """Loads as a share of all instructions."""
+        return self.loads / self.instructions if self.instructions else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.instructions} instr, {self.loads} loads"
+            f" ({self.load_fraction:.1%}), {self.static_loads} static loads,"
+            f" {self.branches} branches"
+        )
+
+
+class Trace:
+    """An executed instruction stream with metadata.
+
+    Columns (all parallel, one entry per dynamic instruction):
+
+    ``kind``   event kind code (:mod:`repro.trace.event`)
+    ``ip``     instruction pointer
+    ``addr``   effective address (memory ops) else 0
+    ``offset`` immediate offset (memory ops) else 0
+    ``dst``    destination register or -1
+    ``src1``   first source register or -1
+    ``src2``   second source register or -1
+    ``taken``  1 when a branch/jump was taken
+    ``value``  data value moved by a load/store (for value-prediction
+               studies), else 0
+    """
+
+    def __init__(self, name: str = "", meta: Optional[dict] = None) -> None:
+        self.name = name
+        self.meta: dict = dict(meta or {})
+        self.kind: List[int] = []
+        self.ip: List[int] = []
+        self.addr: List[int] = []
+        self.offset: List[int] = []
+        self.dst: List[int] = []
+        self.src1: List[int] = []
+        self.src2: List[int] = []
+        self.taken: List[int] = []
+        self.value: List[int] = []
+
+    # -- recording (used by the CPU) ---------------------------------------
+
+    def append(
+        self,
+        kind: int,
+        ip: int,
+        addr: int = 0,
+        offset: int = 0,
+        dst: int = -1,
+        src1: int = -1,
+        src2: int = -1,
+        taken: int = 0,
+        value: int = 0,
+    ) -> None:
+        """Record one dynamic instruction."""
+        self.kind.append(kind)
+        self.ip.append(ip)
+        self.addr.append(addr)
+        self.offset.append(offset)
+        self.dst.append(dst)
+        self.src1.append(src1)
+        self.src2.append(src2)
+        self.taken.append(taken)
+        self.value.append(value)
+
+    def extend(self, other: "Trace") -> None:
+        """Concatenate another trace's events onto this one."""
+        for col in _COLUMNS:
+            getattr(self, col).extend(getattr(other, col))
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return TraceEvent(
+            index=index,
+            kind=self.kind[index],
+            ip=self.ip[index],
+            addr=self.addr[index],
+            offset=self.offset[index],
+            dst=self.dst[index],
+            src1=self.src1[index],
+            src2=self.src2[index],
+            taken=self.taken[index],
+            value=self.value[index],
+        )
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Iterate all events as :class:`TraceEvent` rows."""
+        for index in range(len(self)):
+            yield self[index]
+
+    def loads(self) -> Iterator[LoadEvent]:
+        """Iterate just the dynamic loads."""
+        kinds = self.kind
+        ips = self.ip
+        addrs = self.addr
+        offsets = self.offset
+        for i in range(len(kinds)):
+            if kinds[i] in LOAD_KINDS:
+                yield LoadEvent(ips[i], addrs[i], offsets[i])
+
+    def predictor_stream(self) -> List[tuple]:
+        """Compact stream for predictor evaluation.
+
+        Returns a list of tuples in program order:
+
+        * ``(1, ip, addr, offset)`` for each dynamic load,
+        * ``(0, ip, taken, 0)``     for each conditional branch (GHR food),
+        * ``(2, ip, 0, 0)``         for each call (call-path history food),
+        * ``(3, ip, 0, 0)``         for each return.
+
+        A ``ret`` both loads its return address and pops the call path, so
+        it contributes a load tuple followed by a return marker.  Events the
+        address predictors never observe (plain ALU ops, stores) are
+        dropped.
+        """
+        stream: List[tuple] = []
+        kinds = self.kind
+        ips = self.ip
+        addrs = self.addr
+        offsets = self.offset
+        takens = self.taken
+        load_kinds = LOAD_KINDS
+        for i in range(len(kinds)):
+            k = kinds[i]
+            if k in load_kinds:
+                stream.append((1, ips[i], addrs[i], offsets[i]))
+                if k == KIND_RET:
+                    stream.append((3, ips[i], 0, 0))
+            elif k == KIND_BRANCH:
+                stream.append((0, ips[i], takens[i], 0))
+            elif k == KIND_CALL:
+                stream.append((2, ips[i], 0, 0))
+        return stream
+
+    def value_stream(self) -> List[tuple]:
+        """Per-load ``(ip, loaded_value)`` pairs, for value prediction.
+
+        The paper (Section 1) contrasts load-address prediction with load-
+        *value* prediction ("its lower predictability makes this option
+        less attractive"); this stream feeds that comparison.
+        """
+        pairs: List[tuple] = []
+        kinds = self.kind
+        ips = self.ip
+        values = self.value
+        load_kinds = LOAD_KINDS
+        for i in range(len(kinds)):
+            if kinds[i] in load_kinds:
+                pairs.append((ips[i], values[i]))
+        return pairs
+
+    # -- statistics ----------------------------------------------------------
+
+    def summary(self) -> TraceSummary:
+        """Compute aggregate statistics."""
+        kind_counts: Dict[str, int] = {}
+        loads = stores = branches = taken_branches = 0
+        static_loads = set()
+        for i, k in enumerate(self.kind):
+            kind_counts[KIND_NAMES[k]] = kind_counts.get(KIND_NAMES[k], 0) + 1
+            if k in LOAD_KINDS:
+                loads += 1
+                static_loads.add(self.ip[i])
+            elif k in STORE_KINDS:
+                stores += 1
+            elif k == KIND_BRANCH:
+                branches += 1
+                taken_branches += self.taken[i]
+        return TraceSummary(
+            name=self.name,
+            instructions=len(self),
+            loads=loads,
+            stores=stores,
+            branches=branches,
+            taken_branches=taken_branches,
+            static_loads=len(static_loads),
+            kind_counts=kind_counts,
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: "Path | str") -> None:
+        """Serialise to a compressed ``.npz`` file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            col: np.asarray(getattr(self, col), dtype=np.int64)
+            for col in _COLUMNS
+        }
+        header = json.dumps({"name": self.name, "meta": self.meta})
+        np.savez_compressed(
+            path, header=np.frombuffer(header.encode(), dtype=np.uint8),
+            **arrays,
+        )
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            header = json.loads(bytes(data["header"].tobytes()).decode())
+            trace = cls(name=header.get("name", ""), meta=header.get("meta", {}))
+            for col in _COLUMNS:
+                if col in data:
+                    setattr(trace, col, data[col].tolist())
+                else:  # older cache files lack the value column
+                    setattr(trace, col, [0] * len(data["kind"]))
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace(name={self.name!r}, events={len(self)})"

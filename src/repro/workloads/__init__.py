@@ -1,0 +1,86 @@
+"""Synthetic workloads standing in for the paper's 45 IA-32 traces."""
+
+from .arrays import (
+    ArraySumWorkload,
+    CopyWorkload,
+    HistogramWorkload,
+    MatMulWorkload,
+    SaxpyWorkload,
+    StencilWorkload,
+)
+from .base import BuiltWorkload, Workload, trace_workload
+from .binary_tree import BinaryTreeWorkload
+from .cad import CircuitWorkload
+from .call_patterns import CallPatternWorkload
+from .database import BTreeLookupWorkload, HashJoinWorkload, TableScanWorkload
+from .desktop import DesktopWorkload
+from .extra import (
+    MutatingListWorkload,
+    QuickSortWorkload,
+    RingBufferWorkload,
+    SparseMatVecWorkload,
+)
+from .game import GameWorkload
+from .hash_table import HashTableWorkload
+from .interpreter import ListEvalWorkload
+from .linked_list import (
+    DoubleLinkedListWorkload,
+    IndexListWorkload,
+    LinkedListWorkload,
+)
+from .random_access import LongChainWorkload, RandomAccessWorkload
+from .stack_machine import JavaJITWorkload
+from .suites import (
+    DEFAULT_INSTRUCTIONS,
+    SUITE_NAMES,
+    SUITES,
+    all_traces,
+    build_workload,
+    default_instructions,
+    get_trace,
+    suite_of,
+    suite_traces,
+    trace_names,
+)
+
+__all__ = [
+    "ArraySumWorkload",
+    "CopyWorkload",
+    "HistogramWorkload",
+    "MatMulWorkload",
+    "SaxpyWorkload",
+    "StencilWorkload",
+    "BuiltWorkload",
+    "Workload",
+    "trace_workload",
+    "BinaryTreeWorkload",
+    "CircuitWorkload",
+    "CallPatternWorkload",
+    "BTreeLookupWorkload",
+    "HashJoinWorkload",
+    "TableScanWorkload",
+    "DesktopWorkload",
+    "MutatingListWorkload",
+    "QuickSortWorkload",
+    "RingBufferWorkload",
+    "SparseMatVecWorkload",
+    "GameWorkload",
+    "HashTableWorkload",
+    "ListEvalWorkload",
+    "DoubleLinkedListWorkload",
+    "IndexListWorkload",
+    "LinkedListWorkload",
+    "LongChainWorkload",
+    "RandomAccessWorkload",
+    "JavaJITWorkload",
+    "DEFAULT_INSTRUCTIONS",
+    "SUITE_NAMES",
+    "SUITES",
+    "all_traces",
+    "build_workload",
+    "default_instructions",
+    "get_trace",
+    "suite_of",
+    "suite_traces",
+    "trace_names",
+]

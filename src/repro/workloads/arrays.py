@@ -1,0 +1,345 @@
+"""Array/stride kernels — the multimedia (MM) suite's bread and butter.
+
+These are the loads the paper's *stride* predictor owns: long linear
+traversals of large arrays.  CAP "can hardly handle" them with its limited
+LT storage (Section 4.2), which is exactly why the hybrid exists.  The
+kernels also provide the long-sequence LT-pollution pressure the PF bits
+guard against.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = [
+    "ArraySumWorkload",
+    "SaxpyWorkload",
+    "StencilWorkload",
+    "HistogramWorkload",
+    "CopyWorkload",
+    "MatMulWorkload",
+]
+
+
+def _fill_array(memory: Memory, base: int, count: int, rng, bound: int = 256):
+    for i in range(count):
+        memory.poke(base + 4 * i, rng.randrange(bound))
+
+
+class ArraySumWorkload(Workload):
+    """Sum an array with a configurable element stride."""
+
+    suite = "MM"
+
+    def __init__(
+        self,
+        name: str = "asum",
+        seed: int = 1,
+        elements: int = 4096,
+        stride_words: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        if elements < 1 or stride_words < 1:
+            raise ValueError("elements and stride must be positive")
+        self.elements = elements
+        self.stride_words = stride_words
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 3)
+        span = self.elements * self.stride_words
+        base = allocator.alloc_array(span, 4)
+        _fill_array(memory, base, span, rng)
+
+        step = 4 * self.stride_words
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, span * 4)
+        b.label("inner")
+        b.ld(5, 1, base)
+        b.add(2, 2, 5)
+        b.addi(1, 1, step)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"elements": self.elements, "stride_words": self.stride_words},
+        )
+
+
+class SaxpyWorkload(Workload):
+    """y[i] += a * x[i]: two parallel load streams plus a store stream."""
+
+    suite = "MM"
+
+    def __init__(
+        self, name: str = "saxpy", seed: int = 1, elements: int = 4096,
+    ) -> None:
+        super().__init__(name, seed)
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 5)
+        x = allocator.alloc_array(self.elements, 4)
+        y = allocator.alloc_array(self.elements, 4)
+        _fill_array(memory, x, self.elements, rng)
+        _fill_array(memory, y, self.elements, rng)
+        # The scale factor lives in a global, reloaded per iteration — the
+        # register-starved compiled-code idiom that makes last-address
+        # predictors useful in the first place.
+        coeff_addr = 0x1000_0400
+        memory.poke(coeff_addr, 3)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.elements * 4)
+        b.label("inner")
+        b.ld(5, 1, x)
+        b.ld(7, 0, coeff_addr)           # constant-address global
+        b.mul(5, 5, 7)
+        b.ld(6, 1, y)
+        b.add(6, 6, 5)
+        b.st(6, 1, y)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"elements": self.elements})
+
+
+class StencilWorkload(Workload):
+    """3-point stencil: three static loads at constant offsets of one base.
+
+    The loads share their base addresses exactly (offsets 0/4/8), so this
+    kernel doubles as a pure global-correlation stress: with base-address
+    links all three share LT entries.
+    """
+
+    suite = "MM"
+
+    def __init__(
+        self, name: str = "stencil", seed: int = 1, elements: int = 4096,
+    ) -> None:
+        super().__init__(name, seed)
+        if elements < 3:
+            raise ValueError("stencil needs at least 3 elements")
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 7)
+        src = allocator.alloc_array(self.elements, 4)
+        dst = allocator.alloc_array(self.elements, 4)
+        _fill_array(memory, src, self.elements, rng)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, (self.elements - 2) * 4)
+        b.label("inner")
+        b.ld(5, 1, src)
+        b.ld(6, 1, src + 4)
+        b.ld(7, 1, src + 8)
+        b.add(5, 5, 6)
+        b.add(5, 5, 7)
+        b.st(5, 1, dst + 4)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"elements": self.elements})
+
+
+class HistogramWorkload(Workload):
+    """hist[data[i]]++: a stride stream feeding a data-dependent stream."""
+
+    suite = "MM"
+
+    def __init__(
+        self,
+        name: str = "hist",
+        seed: int = 1,
+        elements: int = 4096,
+        buckets: int = 64,
+    ) -> None:
+        super().__init__(name, seed)
+        self.elements = elements
+        self.buckets = buckets
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 11)
+        data = allocator.alloc_array(self.elements, 4)
+        hist = allocator.alloc_array(self.buckets, 4)
+        _fill_array(memory, data, self.elements, rng, bound=self.buckets)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.elements * 4)
+        b.label("inner")
+        b.ld(5, 1, data)
+        b.muli(6, 5, 4)
+        b.ld(7, 6, hist)        # data-dependent address
+        b.addi(7, 7, 1)
+        b.st(7, 6, hist)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"elements": self.elements, "buckets": self.buckets},
+        )
+
+
+class CopyWorkload(Workload):
+    """Word-wise memcpy between two large buffers."""
+
+    suite = "MM"
+
+    def __init__(
+        self, name: str = "copy", seed: int = 1, elements: int = 8192,
+    ) -> None:
+        super().__init__(name, seed)
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 13)
+        src = allocator.alloc_array(self.elements, 4)
+        dst = allocator.alloc_array(self.elements, 4)
+        _fill_array(memory, src, self.elements, rng)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.elements * 4)
+        b.label("inner")
+        b.ld(5, 1, src)
+        b.st(5, 1, dst)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"elements": self.elements})
+
+
+class GatherWorkload(Workload):
+    """dst[i] = src[perm[i]]: a stride index stream feeding a gather.
+
+    The gather loads have data-dependent, effectively random addresses —
+    the image-dependent access half of real multimedia kernels that keeps
+    the paper's MM prediction rates below the pure-stride ceiling.
+    """
+
+    suite = "MM"
+
+    def __init__(
+        self, name: str = "gather", seed: int = 1, elements: int = 4096,
+    ) -> None:
+        super().__init__(name, seed)
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 19)
+        src = allocator.alloc_array(self.elements, 4)
+        dst = allocator.alloc_array(self.elements, 4)
+        perm = allocator.alloc_array(self.elements, 4)
+        _fill_array(memory, src, self.elements, rng)
+        indices = list(range(self.elements))
+        rng.shuffle(indices)
+        for i, idx in enumerate(indices):
+            memory.poke(perm + 4 * i, idx * 4)  # pre-scaled byte offsets
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.elements * 4)
+        b.label("inner")
+        b.ld(5, 1, perm)        # index  (stride)
+        b.ld(6, 5, src)         # gather (data-dependent)
+        b.st(6, 1, dst)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"elements": self.elements})
+
+
+class MatMulWorkload(Workload):
+    """Dense n x n integer matrix multiply.
+
+    The ``b[k][j]`` stream has a large constant stride (one row), ``a[i][k]``
+    a unit stride, and ``c[i][j]`` a unit-stride store — three regular
+    streams at three scales.
+    """
+
+    suite = "MM"
+
+    def __init__(self, name: str = "matmul", seed: int = 1, n: int = 24) -> None:
+        super().__init__(name, seed)
+        if n < 1:
+            raise ValueError("matrix dimension must be positive")
+        self.n = n
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 17)
+        n = self.n
+        a = allocator.alloc_array(n * n, 4)
+        bm = allocator.alloc_array(n * n, 4)
+        c = allocator.alloc_array(n * n, 4)
+        _fill_array(memory, a, n * n, rng, bound=16)
+        _fill_array(memory, bm, n * n, rng, bound=16)
+
+        n4 = 4 * n
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(12, n)                 # loop bound
+        b.label("big")
+        b.li(8, 0)                  # i
+        b.label("i_loop")
+        b.li(9, 0)                  # j
+        b.label("j_loop")
+        b.li(10, 0)                 # k
+        b.li(2, 0)                  # acc
+        b.muli(11, 8, n4)           # a/c row byte offset
+        b.label("k_loop")
+        b.muli(4, 10, 4)
+        b.add(5, 11, 4)
+        b.ld(6, 5, a)               # a[i][k]
+        b.muli(4, 10, n4)
+        b.muli(5, 9, 4)
+        b.add(4, 4, 5)
+        b.ld(7, 4, bm)              # b[k][j]
+        b.mul(6, 6, 7)
+        b.add(2, 2, 6)
+        b.addi(10, 10, 1)
+        b.blt(10, 12, "k_loop")
+        b.muli(4, 9, 4)
+        b.add(4, 11, 4)
+        b.st(2, 4, c)               # c[i][j]
+        b.addi(9, 9, 1)
+        b.blt(9, 12, "j_loop")
+        b.addi(8, 8, 1)
+        b.blt(8, 12, "i_loop")
+        b.jmp("big")
+        return BuiltWorkload(b.build(), memory, {"n": n})

@@ -1,0 +1,86 @@
+"""Workload abstraction: a program plus its initial memory image.
+
+Each workload builds a mini-ISA program and lays out its data structures in
+memory (heap nodes, global arrays, ...).  Running the program through the
+functional CPU yields the dynamic trace the predictors are evaluated on.
+
+Workloads loop forever over their phases; trace length is controlled by
+the instruction budget passed to :func:`trace_workload`, mirroring how the
+paper cuts 30M-instruction windows out of longer executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa.cpu import CPU
+from ..isa.memory import HeapAllocator, Memory
+from ..isa.program import Program
+from ..trace.trace import Trace
+
+__all__ = ["BuiltWorkload", "Workload", "trace_workload"]
+
+
+@dataclass
+class BuiltWorkload:
+    """The artefacts of one workload build."""
+
+    program: Program
+    memory: Memory
+    meta: dict = field(default_factory=dict)
+
+
+class Workload:
+    """Base class: subclasses implement :meth:`build`.
+
+    Attributes
+    ----------
+    name:
+        Unique trace name (e.g. ``"INT_list"``).
+    suite:
+        Suite label the trace is grouped under (``"INT"``, ``"MM"``, ...).
+    seed:
+        RNG seed controlling data layout and synthetic data; a given
+        (workload, seed) pair always produces the identical trace.
+    """
+
+    suite = "MISC"
+
+    def __init__(self, name: str, seed: int = 1) -> None:
+        self.name = name
+        self.seed = seed
+
+    def build(self) -> BuiltWorkload:
+        """Construct the program and its initial memory image."""
+        raise NotImplementedError
+
+    def allocator(self, memory: Memory, policy: str = "shuffled") -> HeapAllocator:
+        """A heap allocator seeded consistently with this workload."""
+        del memory  # layout is recorded straight into the allocator's space
+        return HeapAllocator(policy=policy, seed=self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"
+
+
+def trace_workload(
+    workload: Workload,
+    max_instructions: int = 200_000,
+    built: Optional[BuiltWorkload] = None,
+) -> Trace:
+    """Execute ``workload`` for ``max_instructions`` and return its trace."""
+    if built is None:
+        built = workload.build()
+    trace = Trace(
+        name=workload.name,
+        meta={
+            "suite": workload.suite,
+            "seed": workload.seed,
+            "workload": type(workload).__name__,
+            **built.meta,
+        },
+    )
+    cpu = CPU(built.memory)
+    cpu.run(built.program, max_instructions=max_instructions, trace=trace)
+    return trace

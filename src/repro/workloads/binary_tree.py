@@ -1,0 +1,115 @@
+"""Binary-tree RDS workload: recursive traversal with real call/ret stack.
+
+Nodes (``val``/``left``/``right``) are heap-allocated with a shuffled
+layout, so the visit order produces a short recurring address sequence that
+defeats stride prediction while the recursion exercises return-address and
+spilled-register stack loads — the full Section 2.1 pattern mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["BinaryTreeWorkload"]
+
+OFF_VAL = 0
+OFF_LEFT = 4
+OFF_RIGHT = 8
+NODE_SIZE = 16
+
+
+class BinaryTreeWorkload(Workload):
+    """Repeated depth-first (in-order) traversal of a random BST."""
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "tree",
+        seed: int = 1,
+        nodes: int = 24,
+        policy: str = "shuffled",
+    ) -> None:
+        super().__init__(name, seed)
+        if nodes < 1:
+            raise ValueError("tree needs at least one node")
+        self.nodes = nodes
+        self.policy = policy
+
+    def _build_tree(self, memory: Memory) -> int:
+        """Insert shuffled keys into a BST; returns the root address."""
+        allocator = self.allocator(memory, policy=self.policy)
+        rng = random.Random(self.seed + 41)
+        keys = list(range(self.nodes))
+        rng.shuffle(keys)
+
+        addrs: List[int] = []
+        lefts: List[Optional[int]] = []
+        rights: List[Optional[int]] = []
+        vals: List[int] = []
+
+        for key in keys:
+            addr = allocator.alloc(NODE_SIZE)
+            addrs.append(addr)
+            lefts.append(None)
+            rights.append(None)
+            vals.append(key)
+
+        # BST insertion over node indices.
+        for i in range(1, len(keys)):
+            j = 0
+            while True:
+                if vals[i] < vals[j]:
+                    if lefts[j] is None:
+                        lefts[j] = i
+                        break
+                    j = lefts[j]
+                else:
+                    if rights[j] is None:
+                        rights[j] = i
+                        break
+                    j = rights[j]
+
+        for i, addr in enumerate(addrs):
+            memory.poke(addr + OFF_VAL, vals[i])
+            left = lefts[i]
+            right = rights[i]
+            memory.poke(addr + OFF_LEFT, addrs[left] if left is not None else 0)
+            memory.poke(addr + OFF_RIGHT, addrs[right] if right is not None else 0)
+        return addrs[0]
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        root = self._build_tree(memory)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, root)
+        b.call("traverse")
+        b.jmp("outer")
+
+        # traverse(r1 = node): in-order visit accumulating into r2.
+        b.label("traverse")
+        b.bne(1, 0, "t_go")
+        b.ret()
+        b.label("t_go")
+        b.push(1)                       # spill the node pointer
+        b.ld(1, 1, OFF_LEFT)
+        b.call("traverse")
+        b.pop(1)                        # reload node (stack load)
+        b.push(1)
+        b.ld(7, 1, OFF_VAL)             # visit
+        b.add(2, 2, 7)
+        b.ld(1, 1, OFF_RIGHT)
+        b.call("traverse")
+        b.pop(1)
+        b.ret()
+
+        return BuiltWorkload(b.build(), memory, {"nodes": self.nodes})

@@ -1,0 +1,152 @@
+"""CAD-suite workload: event-driven gate-level circuit simulation.
+
+A netlist of gates is evaluated off an event wheel: gate records are
+fetched by (data-dependent) index, each gate walks its fanout chain (RDS)
+to schedule successors, and a delay lookup table is sampled per gate type.
+Many distinct gate-evaluation routines give the suite its large static
+load population (the paper's CAD traces gain steadily from bigger LBs).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["CircuitWorkload"]
+
+# Gate record layout: type, state, fanout-head, delay-class.
+OFF_TYPE = 0
+OFF_STATE = 4
+OFF_FANOUT = 8
+OFF_DELAY = 12
+GATE_SIZE = 16
+
+# Fanout node: target gate index, next.
+FAN_TARGET = 0
+FAN_NEXT = 8
+FAN_SIZE = 16
+
+
+class CircuitWorkload(Workload):
+    """Evaluate gates off a circular event wheel."""
+
+    suite = "CAD"
+
+    def __init__(
+        self,
+        name: str = "circuit",
+        seed: int = 1,
+        gates: int = 256,
+        gate_types: int = 12,
+        wheel_len: int = 128,
+        max_fanout: int = 3,
+    ) -> None:
+        super().__init__(name, seed)
+        if gates < 2 or gate_types < 1 or wheel_len < 1:
+            raise ValueError("bad circuit parameters")
+        self.gates = gates
+        self.gate_types = gate_types
+        self.wheel_len = wheel_len
+        self.max_fanout = max_fanout
+
+    def _emit_dispatch(self, b: ProgramBuilder, lo: int, hi: int) -> None:
+        if lo == hi:
+            b.call(f"gate_{lo}")
+            b.jmp("g_next")
+            return
+        mid = (lo + hi) // 2
+        right = f"gd_{mid + 1}_{hi}"
+        b.li(5, mid + 1)
+        b.bge(4, 5, right)
+        self._emit_dispatch(b, lo, mid)
+        b.label(right)
+        self._emit_dispatch(b, mid + 1, hi)
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 227)
+
+        gate_base = allocator.alloc_array(self.gates, GATE_SIZE)
+        wheel_base = allocator.alloc_array(self.wheel_len, 4)
+        delay_lut = allocator.alloc_array(16, 4)
+        for i in range(16):
+            memory.poke(delay_lut + 4 * i, 1 + (i * 7) % 13)
+
+        # Gates with fanout chains of heap nodes.
+        for g in range(self.gates):
+            rec = gate_base + GATE_SIZE * g
+            memory.poke(rec + OFF_TYPE, rng.randrange(self.gate_types))
+            memory.poke(rec + OFF_STATE, rng.randrange(2))
+            memory.poke(rec + OFF_DELAY, rng.randrange(16))
+            head = 0
+            for _ in range(rng.randrange(1, self.max_fanout + 1)):
+                node = allocator.alloc(FAN_SIZE)
+                memory.poke(node + FAN_TARGET, rng.randrange(self.gates))
+                memory.poke(node + FAN_NEXT, head)
+                head = node
+            memory.poke(rec + OFF_FANOUT, head)
+
+        # The event wheel holds gate indices (a recurring activity pattern).
+        for i in range(self.wheel_len):
+            memory.poke(wheel_base + 4 * i, rng.randrange(self.gates))
+
+        # Per-gate activity counters, swept linearly every tick (the
+        # waveform/statistics pass every event-driven simulator has).
+        activity_base = allocator.alloc_array(self.gates, 4)
+        g_time = 0x1000_0800  # simulation clock global
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("tick")
+        # --- statistics sweep (stride) ---------------------------------
+        b.li(1, 0)
+        b.li(3, self.gates * 4)
+        b.label("stat")
+        b.ld(5, 1, activity_base)
+        b.add(2, 2, 5)
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "stat")
+        # --- event evaluation pass --------------------------------------
+        b.li(1, 0)
+        b.li(3, self.wheel_len * 4)
+        b.label("slot")
+        b.ld(14, 0, g_time)                # simulation clock (constant)
+        b.ld(4, 1, wheel_base)             # active gate index
+        b.muli(6, 4, GATE_SIZE)
+        b.ld(7, 6, gate_base + OFF_STATE)  # gate state (data-dependent)
+        b.ld(4, 6, gate_base + OFF_TYPE)   # gate type
+        b.mov(9, 6)                        # r9 = gate record offset
+        self._emit_dispatch(b, 0, self.gate_types - 1)
+        b.label("g_next")
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "slot")
+        b.jmp("tick")
+
+        for t in range(self.gate_types):
+            b.label(f"gate_{t}")
+            # Per-type evaluation: distinct static loads per gate type.
+            b.ld(10, 9, gate_base + OFF_DELAY)
+            b.muli(10, 10, 4)
+            b.ld(11, 10, delay_lut)        # delay sample
+            b.add(2, 2, 11)
+            # Walk the fanout chain (RDS).
+            b.ld(12, 9, gate_base + OFF_FANOUT)
+            b.label(f"fan_{t}")
+            b.beq(12, 0, f"gdone_{t}")
+            b.ld(13, 12, FAN_TARGET)
+            b.add(2, 2, 13)
+            b.ld(12, 12, FAN_NEXT)
+            b.jmp(f"fan_{t}")
+            b.label(f"gdone_{t}")
+            b.ret()
+
+        return BuiltWorkload(
+            b.build(), memory,
+            {"gates": self.gates, "gate_types": self.gate_types,
+             "wheel_len": self.wheel_len},
+        )

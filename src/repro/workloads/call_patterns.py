@@ -1,0 +1,103 @@
+"""Control-correlated load workloads (paper Section 2.2).
+
+Reproduces the xlisp examples verbatim in structure:
+
+* ``xlmatch`` is called in the recurring site pattern **a-c-u-a** (with
+  ``xaref`` invoking it twice), so its argument-dependent loads follow the
+  fingerprint ``A1 A1 C U A2 A2``.
+* ``xllastarg`` is called in the pattern **a-a-u-c-b**, giving
+  ``A1 A2 U C B``.
+
+Each call site passes a site-specific structure pointer on the stack; the
+callee's loads of that structure's fields are stride-hopeless but perfectly
+context-predictable once the call pattern repeats.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.instructions import SP
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["CallPatternWorkload"]
+
+STRUCT_FIELDS = 3
+STRUCT_SIZE = 16
+
+
+class CallPatternWorkload(Workload):
+    """Functions whose loads correlate with their call sites."""
+
+    suite = "INT"
+
+    def __init__(self, name: str = "calls", seed: int = 1) -> None:
+        super().__init__(name, seed)
+
+    def _alloc_struct(self, memory: Memory, allocator, rng) -> int:
+        addr = allocator.alloc(STRUCT_SIZE)
+        for f in range(STRUCT_FIELDS):
+            memory.poke(addr + 4 * f, rng.randrange(1000))
+        return addr
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 53)
+
+        # Site-specific structures for the two callees.
+        s_a1 = self._alloc_struct(memory, allocator, rng)
+        s_a2 = self._alloc_struct(memory, allocator, rng)
+        s_c = self._alloc_struct(memory, allocator, rng)
+        s_u = self._alloc_struct(memory, allocator, rng)
+        t_a1 = self._alloc_struct(memory, allocator, rng)
+        t_a2 = self._alloc_struct(memory, allocator, rng)
+        t_u = self._alloc_struct(memory, allocator, rng)
+        t_c = self._alloc_struct(memory, allocator, rng)
+        t_b = self._alloc_struct(memory, allocator, rng)
+
+        b = ProgramBuilder(self.name)
+
+        def call_with_arg(callee: str, struct_addr: int) -> None:
+            """Push a struct pointer, call, pop the argument."""
+            b.li(1, struct_addr)
+            b.push(1)
+            b.call(callee)
+            b.addi(SP, SP, 4)
+
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        # xlmatch pattern a-c-u-a; xaref calls it twice per visit.
+        call_with_arg("xlmatch", s_a1)   # xaref(1), first call
+        call_with_arg("xlmatch", s_a1)   # xaref(1), second call
+        call_with_arg("xlmatch", s_c)    # xcond
+        call_with_arg("xlmatch", s_u)    # doupdates
+        call_with_arg("xlmatch", s_a2)   # xaref(2), first call
+        call_with_arg("xlmatch", s_a2)   # xaref(2), second call
+        # xllastarg pattern a-a-u-c-b.
+        call_with_arg("xllastarg", t_a1)
+        call_with_arg("xllastarg", t_a2)
+        call_with_arg("xllastarg", t_u)
+        call_with_arg("xllastarg", t_c)
+        call_with_arg("xllastarg", t_b)
+        b.jmp("outer")
+
+        for callee in ("xlmatch", "xllastarg"):
+            b.label(callee)
+            # sp+0 is the return address; the stack-passed argument is at
+            # sp+4 (a constant-address, last-address-friendly load).
+            b.ld(1, SP, 4)
+            # The control-correlated loads: field addresses depend on which
+            # structure the call site passed.
+            b.ld(3, 1, 0)
+            b.ld(4, 1, 4)
+            b.ld(5, 1, 8)
+            b.add(2, 2, 3)
+            b.add(2, 2, 4)
+            b.add(2, 2, 5)
+            b.ret()
+
+        return BuiltWorkload(b.build(), memory, {})

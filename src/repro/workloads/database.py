@@ -1,0 +1,263 @@
+"""TPC-suite workloads: index lookups, table scans, and hash joins.
+
+Database kernels mix three address behaviours the predictors must share a
+Load Buffer over: binary-search probes (data-dependent but recurring with
+the query sequence), wide-stride row scans, and pointer-chased overflow
+chains.  The paper's TPC traces show the *lowest* prediction rates due to
+LB contention, which these workloads reproduce through their large static
+load counts and irregular streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.bitops import is_power_of_two
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["BTreeLookupWorkload", "TableScanWorkload", "HashJoinWorkload"]
+
+
+class BTreeLookupWorkload(Workload):
+    """Binary search over a sorted key array, then record fetches."""
+
+    suite = "TPC"
+
+    #: Record layout: key, payload0, payload1, payload2 (16 bytes).
+    REC_SIZE = 16
+
+    def __init__(
+        self,
+        name: str = "btree",
+        seed: int = 1,
+        keys: int = 1024,
+        queries: int = 64,
+    ) -> None:
+        super().__init__(name, seed)
+        if not is_power_of_two(keys):
+            raise ValueError("keys must be a power of two")
+        self.keys = keys
+        self.queries = queries
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 101)
+
+        key_base = allocator.alloc_array(self.keys, 4)
+        rec_base = allocator.alloc_array(self.keys, self.REC_SIZE)
+        query_base = allocator.alloc_array(self.queries, 4)
+
+        # Sorted, distinct keys (value = 3*i + 7 keeps them strictly rising).
+        for i in range(self.keys):
+            key = 3 * i + 7
+            memory.poke(key_base + 4 * i, key)
+            memory.poke(rec_base + self.REC_SIZE * i + 4, key * 2)
+            memory.poke(rec_base + self.REC_SIZE * i + 8, rng.randrange(100))
+            memory.poke(rec_base + self.REC_SIZE * i + 12, rng.randrange(100))
+        # The recurring query sequence (all present keys).
+        for q in range(self.queries):
+            memory.poke(query_base + 4 * q, 3 * rng.randrange(self.keys) + 7)
+
+        # Index metadata globals (root pointer, key count) — loaded per
+        # query exactly as a real index probe reads its descriptor.
+        g_root = 0x1000_0500
+        g_count = 0x1000_0504
+        memory.poke(g_root, key_base)
+        memory.poke(g_count, self.keys)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, 0)                         # query cursor (bytes)
+        b.li(3, self.queries * 4)
+        b.label("qloop")
+        b.ld(4, 1, query_base)             # query key (stride)
+        b.ld(14, 0, g_root)                # index descriptor (constant)
+        b.ld(6, 0, g_count)                # key count (constant)
+        b.li(5, 0)                         # lo
+        b.label("bsearch")
+        b.bge(5, 6, "qnext")               # not found (never for our data)
+        b.add(7, 5, 6)
+        b.li(8, 1)
+        b.shr(7, 7, 8)                     # mid = (lo + hi) >> 1
+        b.muli(9, 7, 4)
+        b.ld(10, 9, key_base)              # probe (data-dependent, recurring)
+        b.beq(10, 4, "found")
+        b.blt(10, 4, "go_right")
+        b.mov(6, 7)                        # hi = mid
+        b.jmp("bsearch")
+        b.label("go_right")
+        b.addi(5, 7, 1)                    # lo = mid + 1
+        b.jmp("bsearch")
+        b.label("found")
+        b.muli(9, 7, self.REC_SIZE)
+        b.ld(11, 9, rec_base + 4)          # record fields
+        b.ld(12, 9, rec_base + 8)
+        b.ld(13, 9, rec_base + 12)
+        b.add(2, 2, 11)
+        b.add(2, 2, 12)
+        b.add(2, 2, 13)
+        b.label("qnext")
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "qloop")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory, {"keys": self.keys, "queries": self.queries},
+        )
+
+
+class TableScanWorkload(Workload):
+    """Scan wide rows with a selective filter and dimension-table hops."""
+
+    suite = "TPC"
+
+    ROW_SIZE = 32
+
+    def __init__(
+        self,
+        name: str = "scan",
+        seed: int = 1,
+        rows: int = 2048,
+        dim_rows: int = 128,
+    ) -> None:
+        super().__init__(name, seed)
+        self.rows = rows
+        self.dim_rows = dim_rows
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 103)
+
+        row_base = allocator.alloc_array(self.rows, self.ROW_SIZE)
+        dim_base = allocator.alloc_array(self.dim_rows, 8)
+
+        for d in range(self.dim_rows):
+            memory.poke(dim_base + 8 * d, rng.randrange(50))
+        for r in range(self.rows):
+            row = row_base + self.ROW_SIZE * r
+            memory.poke(row + 0, rng.randrange(4))       # filter column
+            memory.poke(row + 4, rng.randrange(1000))    # measure
+            # Foreign key: byte offset of a dimension row.
+            memory.poke(row + 8, 8 * rng.randrange(self.dim_rows))
+            memory.poke(row + 12, rng.randrange(1000))
+
+        # Schema descriptor global, read per row (constant address).
+        g_schema = 0x1000_0600
+        memory.poke(g_schema, self.ROW_SIZE)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.rows * self.ROW_SIZE)
+        b.label("row")
+        b.ld(14, 0, g_schema)              # schema descriptor (constant)
+        b.ld(4, 1, row_base)               # filter column (stride 32)
+        b.bne(4, 0, "skip")                # ~75% of rows skipped
+        b.ld(5, 1, row_base + 4)           # measure
+        b.ld(6, 1, row_base + 8)           # foreign key
+        b.ld(7, 6, dim_base)               # dimension hop (data-dependent)
+        b.add(2, 2, 5)
+        b.add(2, 2, 7)
+        b.label("skip")
+        b.addi(1, 1, self.ROW_SIZE)
+        b.blt(1, 3, "row")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory, {"rows": self.rows, "dim_rows": self.dim_rows},
+        )
+
+
+class HashJoinWorkload(Workload):
+    """Probe-side of a hash join: stride scan feeding hashed chain walks."""
+
+    suite = "TPC"
+
+    NODE_SIZE = 16
+
+    def __init__(
+        self,
+        name: str = "join",
+        seed: int = 1,
+        buckets: int = 256,
+        build_rows: int = 384,
+        probe_rows: int = 512,
+    ) -> None:
+        super().__init__(name, seed)
+        if not is_power_of_two(buckets):
+            raise ValueError("buckets must be a power of two")
+        self.buckets = buckets
+        self.build_rows = build_rows
+        self.probe_rows = probe_rows
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 107)
+
+        bucket_base = allocator.alloc_array(self.buckets, 4)
+        probe_base = allocator.alloc_array(self.probe_rows, 8)
+
+        heads = [0] * self.buckets
+        build_keys = []
+        for _ in range(self.build_rows):
+            key = rng.randrange(1, 4096)
+            node = allocator.alloc(self.NODE_SIZE)
+            slot = key & (self.buckets - 1)
+            memory.poke(node + 0, key)
+            memory.poke(node + 4, rng.randrange(100))
+            memory.poke(node + 8, heads[slot])
+            heads[slot] = node
+            build_keys.append(key)
+        for slot, head in enumerate(heads):
+            memory.poke(bucket_base + 4 * slot, head)
+        for p in range(self.probe_rows):
+            # ~70% of probes hit the build side.
+            if rng.random() < 0.7:
+                key = rng.choice(build_keys)
+            else:
+                key = rng.randrange(1, 4096)
+            memory.poke(probe_base + 8 * p, key)
+            memory.poke(probe_base + 8 * p + 4, rng.randrange(100))
+
+        g_mask = 0x1000_0700
+        memory.poke(g_mask, self.buckets - 1)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.probe_rows * 8)
+        b.label("probe")
+        b.ld(4, 1, probe_base)             # probe key (stride 8)
+        b.ld(5, 1, probe_base + 4)         # probe payload
+        b.ld(14, 0, g_mask)                # hash descriptor (constant)
+        b.and_(6, 4, 14)
+        b.muli(6, 6, 4)
+        b.ld(7, 6, bucket_base)            # bucket head
+        b.label("chain")
+        b.beq(7, 0, "pnext")
+        b.ld(8, 7, 0)                      # node key
+        b.bne(8, 4, "miss")
+        b.ld(9, 7, 4)                      # matched payload
+        b.add(2, 2, 9)
+        b.add(2, 2, 5)
+        b.label("miss")
+        b.ld(7, 7, 8)                      # next node
+        b.jmp("chain")
+        b.label("pnext")
+        b.addi(1, 1, 8)
+        b.blt(1, 3, "probe")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"buckets": self.buckets, "build_rows": self.build_rows,
+             "probe_rows": self.probe_rows},
+        )

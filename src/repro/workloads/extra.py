@@ -1,0 +1,290 @@
+"""Additional workload programs beyond the 45-trace roster.
+
+These exercise behaviours the suite traces touch only lightly and back
+the ablation/extension studies:
+
+* :class:`QuickSortWorkload` — in-place quicksort: data-dependent
+  branches, partially-sorted re-runs, swap-heavy stores.
+* :class:`MutatingListWorkload` — a linked list whose structure changes
+  periodically (node rotation), stressing the PF bits' hysteresis and the
+  predictors' retraining behaviour.
+* :class:`RingBufferWorkload` — a producer/consumer byte ring: two
+  striding pointers that wrap, the interval technique's best case.
+* :class:`SparseMatVecWorkload` — CSR sparse matrix-vector product: a
+  stride over the row pointers/values feeding an indirect gather from the
+  dense vector, the classic half-regular memory shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = [
+    "QuickSortWorkload",
+    "MutatingListWorkload",
+    "RingBufferWorkload",
+    "SparseMatVecWorkload",
+]
+
+
+class QuickSortWorkload(Workload):
+    """Repeatedly shuffle (via LCG swaps) and quicksort an array."""
+
+    suite = "MISC"
+
+    def __init__(self, name: str = "qsort", seed: int = 1, elements: int = 128):
+        super().__init__(name, seed)
+        if elements < 4:
+            raise ValueError("need at least 4 elements")
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 301)
+        data = allocator.alloc_array(self.elements, 4)
+        for i in range(self.elements):
+            memory.poke(data + 4 * i, rng.randrange(1 << 16))
+
+        n = self.elements
+        b = ProgramBuilder(self.name)
+        # Register plan: r1 scratch, r2 checksum, r3 LCG state,
+        # r4/r5 loop indices (byte offsets), r6/r7 values, r8 limit.
+        b.label("main")
+        b.li(2, 0)
+        b.li(3, self.seed * 2654435761 % (1 << 32) or 1)
+        b.label("outer")
+        # --- perturb: n/4 pseudo-random swaps --------------------------
+        b.li(9, n // 4)
+        b.label("shuffle")
+        b.muli(3, 3, 1103515245)
+        b.addi(3, 3, 12345)
+        b.andi(4, 3, (n - 1) << 2)       # aligned index a
+        b.muli(5, 3, 2654435761)
+        b.andi(5, 5, (n - 1) << 2)       # aligned index b
+        b.ld(6, 4, data)
+        b.ld(7, 5, data)
+        b.st(7, 4, data)
+        b.st(6, 5, data)
+        b.addi(9, 9, -1)
+        b.bne(9, 0, "shuffle")
+        # --- bubble-ish selection sort pass (bounded, branch-heavy) ----
+        # (A full recursive quicksort would need more registers than it
+        # teaches; an O(n^2)-bounded exchange sort exhibits the same
+        # data-dependent compare/swap memory behaviour per pass.)
+        b.li(4, 0)
+        b.li(8, (n - 1) * 4)
+        b.label("sort_i")
+        b.mov(5, 4)
+        b.addi(5, 5, 4)
+        b.label("sort_j")
+        b.ld(6, 4, data)
+        b.ld(7, 5, data)
+        b.bge(7, 6, "no_swap")
+        b.st(7, 4, data)
+        b.st(6, 5, data)
+        b.label("no_swap")
+        b.addi(5, 5, 4)
+        b.li(9, n * 4)
+        b.blt(5, 9, "sort_j")
+        b.addi(4, 4, 4)
+        b.blt(4, 8, "sort_i")
+        # --- checksum scan ---------------------------------------------
+        b.li(4, 0)
+        b.li(9, n * 4)
+        b.label("scan")
+        b.ld(6, 4, data)
+        b.add(2, 2, 6)
+        b.addi(4, 4, 4)
+        b.blt(4, 9, "scan")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"elements": n})
+
+
+class MutatingListWorkload(Workload):
+    """Traverse a list whose head rotates every few traversals.
+
+    The rotation changes which node follows which, so the context links
+    must be *re-learned* — the behaviour-change case the PF bits' two-
+    sightings rule deliberately slows down (Section 3.5's hysteresis).
+    """
+
+    suite = "MISC"
+
+    def __init__(
+        self,
+        name: str = "mutlist",
+        seed: int = 1,
+        length: int = 16,
+        traversals_per_mutation: int = 8,
+    ) -> None:
+        super().__init__(name, seed)
+        if length < 3:
+            raise ValueError("need at least 3 nodes")
+        self.length = length
+        self.traversals_per_mutation = traversals_per_mutation
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 307)
+        nodes = [allocator.alloc(16) for _ in range(self.length)]
+        for i, addr in enumerate(nodes):
+            memory.poke(addr + 4, rng.randrange(100))
+            memory.poke(addr + 8, nodes[(i + 1) % self.length])  # ring
+
+        head_slot = 0x1000_0A00
+        memory.poke(head_slot, nodes[0])
+        count = self.length
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(9, self.traversals_per_mutation)
+        b.label("epoch")
+        # One traversal around the ring (count steps).
+        b.ld(1, 0, head_slot)
+        b.li(10, count)
+        b.label("walk")
+        b.ld(7, 1, 4)
+        b.add(2, 2, 7)
+        b.ld(1, 1, 8)
+        b.addi(10, 10, -1)
+        b.bne(10, 0, "walk")
+        b.addi(9, 9, -1)
+        b.bne(9, 0, "epoch")
+        # Mutate: advance the head by one node — every context shifts.
+        b.ld(1, 0, head_slot)
+        b.ld(1, 1, 8)
+        b.st(1, 0, head_slot)
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"length": self.length,
+             "traversals_per_mutation": self.traversals_per_mutation},
+        )
+
+
+class RingBufferWorkload(Workload):
+    """Producer/consumer over a power-of-two ring buffer."""
+
+    suite = "MISC"
+
+    def __init__(
+        self, name: str = "ring", seed: int = 1, slots: int = 256,
+    ) -> None:
+        super().__init__(name, seed)
+        if slots & (slots - 1) or slots < 4:
+            raise ValueError("slots must be a power of two >= 4")
+        self.slots = slots
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        ring = allocator.alloc_array(self.slots, 4)
+        mask_bytes = (self.slots - 1) << 2
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.li(4, 0)                      # producer cursor (bytes)
+        b.li(5, 0)                      # consumer cursor (bytes)
+        b.li(6, 1)                      # produced value
+        b.label("outer")
+        # Produce a burst of 8...
+        b.li(9, 8)
+        b.label("produce")
+        b.st(6, 4, ring)
+        b.addi(6, 6, 1)
+        b.addi(4, 4, 4)
+        b.andi(4, 4, mask_bytes)        # wrap
+        b.addi(9, 9, -1)
+        b.bne(9, 0, "produce")
+        # ...then consume it.
+        b.li(9, 8)
+        b.label("consume")
+        b.ld(7, 5, ring)
+        b.add(2, 2, 7)
+        b.addi(5, 5, 4)
+        b.andi(5, 5, mask_bytes)
+        b.addi(9, 9, -1)
+        b.bne(9, 0, "consume")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"slots": self.slots})
+
+
+class SparseMatVecWorkload(Workload):
+    """y = A*x for a CSR sparse matrix: stride + indirect gather."""
+
+    suite = "MISC"
+
+    def __init__(
+        self,
+        name: str = "spmv",
+        seed: int = 1,
+        rows: int = 64,
+        cols: int = 256,
+        nnz_per_row: int = 6,
+    ) -> None:
+        super().__init__(name, seed)
+        if rows < 1 or cols < 1 or nnz_per_row < 1:
+            raise ValueError("bad matrix dimensions")
+        self.rows = rows
+        self.cols = cols
+        self.nnz_per_row = nnz_per_row
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 311)
+        nnz = self.rows * self.nnz_per_row
+
+        row_ptr = allocator.alloc_array(self.rows + 1, 4)
+        col_idx = allocator.alloc_array(nnz, 4)   # pre-scaled byte offsets
+        values = allocator.alloc_array(nnz, 4)
+        x_vec = allocator.alloc_array(self.cols, 4)
+        y_vec = allocator.alloc_array(self.rows, 4)
+
+        for c in range(self.cols):
+            memory.poke(x_vec + 4 * c, rng.randrange(16))
+        k = 0
+        for r in range(self.rows):
+            memory.poke(row_ptr + 4 * r, k * 4)
+            for _ in range(self.nnz_per_row):
+                memory.poke(col_idx + 4 * k, 4 * rng.randrange(self.cols))
+                memory.poke(values + 4 * k, rng.randrange(8))
+                k += 1
+        memory.poke(row_ptr + 4 * self.rows, k * 4)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.label("outer")
+        b.li(4, 0)                         # row cursor (bytes)
+        b.li(8, self.rows * 4)
+        b.label("row")
+        b.ld(5, 4, row_ptr)                # k begin (stride)
+        b.ld(6, 4, row_ptr + 4)            # k end   (stride)
+        b.li(2, 0)                         # accumulator
+        b.label("col")
+        b.bge(5, 6, "row_done")
+        b.ld(9, 5, col_idx)                # column offset (stride)
+        b.ld(10, 9, x_vec)                 # x[col]  (indirect gather)
+        b.ld(11, 5, values)                # A value (stride)
+        b.mul(10, 10, 11)
+        b.add(2, 2, 10)
+        b.addi(5, 5, 4)
+        b.jmp("col")
+        b.label("row_done")
+        b.st(2, 4, y_vec)
+        b.addi(4, 4, 4)
+        b.blt(4, 8, "row")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"rows": self.rows, "cols": self.cols, "nnz": nnz},
+        )

@@ -1,0 +1,125 @@
+"""GAM-suite workload: a game-engine frame loop.
+
+Each simulated frame walks an entity list (RDS), dispatches per entity
+type to update routines (control correlation), samples a trigonometric
+lookup table by an entity field (semi-irregular), and sweeps a particle
+array (stride) — the Quake-flavoured mix of the paper's GAM traces.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["GameWorkload"]
+
+# Entity layout: type, angle, value, next.
+OFF_TYPE = 0
+OFF_ANGLE = 4
+OFF_VALUE = 8
+OFF_NEXT = 12
+ENTITY_SIZE = 16
+
+
+class GameWorkload(Workload):
+    """Frame loop over entities, a LUT and a particle array."""
+
+    suite = "GAM"
+
+    def __init__(
+        self,
+        name: str = "game",
+        seed: int = 1,
+        entities: int = 32,
+        entity_types: int = 4,
+        particles: int = 512,
+        lut_size: int = 256,
+    ) -> None:
+        super().__init__(name, seed)
+        if entities < 1 or not 1 <= entity_types <= 8:
+            raise ValueError("bad entity parameters")
+        if lut_size & (lut_size - 1):
+            raise ValueError("lut_size must be a power of two")
+        self.entities = entities
+        self.entity_types = entity_types
+        self.particles = particles
+        self.lut_size = lut_size
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 223)
+
+        # Entity list (shuffled heap placement).
+        addrs = [allocator.alloc(ENTITY_SIZE) for _ in range(self.entities)]
+        for i, addr in enumerate(addrs):
+            memory.poke(addr + OFF_TYPE, rng.randrange(self.entity_types))
+            memory.poke(addr + OFF_ANGLE, rng.randrange(self.lut_size))
+            memory.poke(addr + OFF_VALUE, rng.randrange(100))
+            memory.poke(
+                addr + OFF_NEXT, addrs[i + 1] if i + 1 < self.entities else 0
+            )
+        head = addrs[0]
+
+        lut_base = allocator.alloc_array(self.lut_size, 4)
+        for i in range(self.lut_size):
+            memory.poke(lut_base + 4 * i, (i * 37) & 0xFF)
+
+        particle_base = allocator.alloc_array(self.particles, 8)
+        for i in range(self.particles):
+            memory.poke(particle_base + 8 * i, rng.randrange(100))
+
+        # Global world state (read-only scalars every engine reads a lot).
+        g_timestep = 0x1000_0300
+        g_gravity = 0x1000_0304
+        memory.poke(g_timestep, 16)
+        memory.poke(g_gravity, 10)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("frame")
+        # --- entity pass (RDS + control correlation) -------------------
+        b.li(1, head)
+        b.label("ent")
+        b.ld(14, 0, g_timestep)          # constant-address global reads
+        b.ld(13, 0, g_gravity)
+        b.add(2, 2, 14)
+        b.add(2, 2, 13)
+        b.ld(4, 1, OFF_TYPE)             # entity type
+        # Dispatch via a short compare chain: each type has its own update
+        # routine whose loads correlate with the entity stream.
+        for t in range(self.entity_types):
+            b.li(5, t)
+            b.beq(4, 5, f"type_{t}")
+        b.jmp("ent_next")
+        for t in range(self.entity_types):
+            b.label(f"type_{t}")
+            b.ld(6, 1, OFF_ANGLE)        # per-type static load of angle
+            b.andi(6, 6, self.lut_size - 1)
+            b.muli(6, 6, 4)
+            b.ld(7, 6, lut_base)         # LUT sample (semi-irregular)
+            b.ld(8, 1, OFF_VALUE)        # per-type static load of value
+            b.add(2, 2, 7)
+            b.add(2, 2, 8)
+            b.jmp("ent_next")
+        b.label("ent_next")
+        b.ld(1, 1, OFF_NEXT)             # next entity (RDS)
+        b.bne(1, 0, "ent")
+        # --- particle pass (stride) -----------------------------------
+        b.li(1, 0)
+        b.li(3, self.particles * 8)
+        b.label("part")
+        b.ld(5, 1, particle_base)
+        b.addi(5, 5, 1)
+        b.st(5, 1, particle_base)
+        b.addi(1, 1, 8)
+        b.blt(1, 3, "part")
+        b.jmp("frame")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"entities": self.entities, "particles": self.particles},
+        )

@@ -1,0 +1,107 @@
+"""Chained hash-table workload.
+
+A fixed, recurring key sequence probes a bucket array and walks short
+collision chains.  The key fetches are stride loads; the bucket-head and
+chain loads are data-dependent — unpredictable to stride but recurring, so
+a context predictor can learn them.  Section 3.3 explicitly calls out hash
+tables as an LT-aliasing hazard for the base-address scheme, which this
+workload reproduces.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.bitops import is_power_of_two
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["HashTableWorkload"]
+
+# Chain node layout.
+OFF_KEY = 0
+OFF_VAL = 4
+OFF_NEXT = 8
+NODE_SIZE = 16
+
+
+class HashTableWorkload(Workload):
+    """Probe a chained hash table with a recurring key sequence."""
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "hash",
+        seed: int = 1,
+        buckets: int = 64,
+        items: int = 96,
+        probes: int = 48,
+    ) -> None:
+        super().__init__(name, seed)
+        if not is_power_of_two(buckets):
+            raise ValueError("buckets must be a power of two")
+        if items < 1 or probes < 1:
+            raise ValueError("items and probes must be positive")
+        self.buckets = buckets
+        self.items = items
+        self.probes = probes
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 61)
+
+        bucket_base = allocator.alloc_array(self.buckets, 4)
+        keys_base = allocator.alloc_array(self.probes, 4)
+
+        # Insert items (distinct keys) into chains.
+        inserted: list[int] = []
+        heads = [0] * self.buckets
+        key_space = list(range(1, self.items * 8))
+        rng.shuffle(key_space)
+        for key in key_space[: self.items]:
+            node = allocator.alloc(NODE_SIZE)
+            slot = key & (self.buckets - 1)
+            memory.poke(node + OFF_KEY, key)
+            memory.poke(node + OFF_VAL, rng.randrange(1000))
+            memory.poke(node + OFF_NEXT, heads[slot])
+            heads[slot] = node
+            inserted.append(key)
+        for slot, head in enumerate(heads):
+            memory.poke(bucket_base + 4 * slot, head)
+
+        # The recurring probe sequence (all hits).
+        for i in range(self.probes):
+            memory.poke(keys_base + 4 * i, rng.choice(inserted))
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, 0)
+        b.li(3, self.probes * 4)
+        b.label("kloop")
+        b.ld(4, 1, keys_base)            # key       (stride)
+        b.andi(5, 4, self.buckets - 1)
+        b.muli(5, 5, 4)
+        b.ld(6, 5, bucket_base)          # head      (data-dependent, recurring)
+        b.label("chain")
+        b.beq(6, 0, "done")
+        b.ld(7, 6, OFF_KEY)              # node key  (RDS-like)
+        b.beq(7, 4, "found")
+        b.ld(6, 6, OFF_NEXT)             # next      (RDS-like)
+        b.jmp("chain")
+        b.label("found")
+        b.ld(8, 6, OFF_VAL)
+        b.add(2, 2, 8)
+        b.label("done")
+        b.addi(1, 1, 4)
+        b.blt(1, 3, "kloop")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"buckets": self.buckets, "items": self.items,
+             "probes": self.probes},
+        )

@@ -1,0 +1,114 @@
+"""An xlisp-like list evaluator (the paper's Section 2.1 motivating case).
+
+The heap holds cons cells (``n_type``/``car``/``cdr``).  A top-level list
+is traversed through a global current-element pointer (the paper's
+``%ebx`` slot); numeric elements are accumulated directly and list
+elements trigger an inner sublist walk — giving nested, type-dispatched
+RDS traversal with data-dependent branches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["ListEvalWorkload"]
+
+TYPE_NUMBER = 1
+TYPE_LIST = 3
+
+# Cons/element layout.
+OFF_TYPE = 0
+OFF_CAR = 4
+OFF_CDR = 8
+CELL_SIZE = 16
+
+
+class ListEvalWorkload(Workload):
+    """Evaluate a heap-allocated list of numbers and sublists, repeatedly."""
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "xleval",
+        seed: int = 1,
+        elements: int = 16,
+        sublist_len: int = 5,
+        list_fraction: float = 0.4,
+    ) -> None:
+        super().__init__(name, seed)
+        if elements < 1 or sublist_len < 1:
+            raise ValueError("elements and sublist_len must be positive")
+        if not 0.0 <= list_fraction <= 1.0:
+            raise ValueError("list_fraction must be in [0, 1]")
+        self.elements = elements
+        self.sublist_len = sublist_len
+        self.list_fraction = list_fraction
+
+    def _cons(self, memory: Memory, allocator, n_type: int, car: int, cdr: int) -> int:
+        cell = allocator.alloc(CELL_SIZE)
+        memory.poke(cell + OFF_TYPE, n_type)
+        memory.poke(cell + OFF_CAR, car)
+        memory.poke(cell + OFF_CDR, cdr)
+        return cell
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 83)
+
+        # Build the top-level list back to front.
+        head = 0
+        for _ in range(self.elements):
+            if rng.random() < self.list_fraction:
+                # A sublist of plain numeric cells (car holds the value).
+                sub = 0
+                for _ in range(self.sublist_len):
+                    sub = self._cons(
+                        memory, allocator, TYPE_NUMBER,
+                        rng.randrange(1000), sub,
+                    )
+                element = self._cons(memory, allocator, TYPE_LIST, sub, 0)
+            else:
+                element = self._cons(
+                    memory, allocator, TYPE_NUMBER, rng.randrange(1000), 0,
+                )
+            head = self._cons(memory, allocator, TYPE_LIST, element, head)
+
+        ptr_slot = 0x1000_0200  # the global current-element pointer
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.li(9, ptr_slot)
+        b.label("outer")
+        b.li(1, head)
+        b.st(1, 9, 0)
+        b.label("next_el")
+        b.ld(1, 9, 0)                    # current cons (constant address)
+        b.beq(1, 0, "outer")
+        b.ld(4, 1, OFF_CAR)              # element
+        b.ld(5, 1, OFF_CDR)              # advance pointer
+        b.st(5, 9, 0)
+        b.ld(6, 4, OFF_TYPE)             # element type (data-dependent branch)
+        b.li(7, TYPE_NUMBER)
+        b.beq(6, 7, "is_num")
+        b.ld(8, 4, OFF_CAR)              # sublist head
+        b.label("sub")
+        b.beq(8, 0, "next_el")
+        b.ld(10, 8, OFF_CAR)             # numeric car
+        b.add(2, 2, 10)
+        b.ld(8, 8, OFF_CDR)
+        b.jmp("sub")
+        b.label("is_num")
+        b.ld(7, 4, OFF_CAR)
+        b.add(2, 2, 7)
+        b.jmp("next_el")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"elements": self.elements, "sublist_len": self.sublist_len},
+        )

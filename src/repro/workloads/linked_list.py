@@ -1,0 +1,222 @@
+"""Recursive-data-structure workloads: linked lists (paper Section 2.1).
+
+Three variants reproduce the RDS patterns the paper analyses:
+
+* :class:`LinkedListWorkload` — a singly linked list with ``type``/``val``/
+  ``next`` fields (the xlisp NODE example): each static load's address
+  stream is a short recurring sequence, completely stride-unpredictable,
+  and the three loads are globally correlated through shared node bases.
+* :class:`DoubleLinkedListWorkload` — forward then backward traversal; the
+  ``val`` load needs a history of *two* addresses to know the direction
+  (the paper's Figure 2 argument for history length).
+* :class:`IndexListWorkload` — the *go*-style coding: one array per field,
+  ``next`` holding indices; the arrays' base addresses live in the load
+  *immediate offsets*, exercising the offset-LSB/base-MSB split of
+  Section 3.3.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = [
+    "LinkedListWorkload",
+    "DoubleLinkedListWorkload",
+    "IndexListWorkload",
+]
+
+# Node field offsets (single / double lists).
+OFF_TYPE = 0
+OFF_VAL = 4
+OFF_NEXT = 8
+OFF_PREV = 12
+NODE_SIZE = 16
+
+
+def _build_list(
+    workload: Workload,
+    memory: Memory,
+    length: int,
+    doubly: bool = False,
+    policy: str = "shuffled",
+) -> list[int]:
+    """Allocate and link ``length`` nodes; returns their base addresses."""
+    allocator = workload.allocator(memory, policy=policy)
+    rng = random.Random(workload.seed + 17)
+    nodes = [allocator.alloc(NODE_SIZE) for _ in range(length)]
+    for i, addr in enumerate(nodes):
+        memory.poke(addr + OFF_TYPE, 3)  # LIST type tag
+        memory.poke(addr + OFF_VAL, rng.randrange(1000))
+        memory.poke(addr + OFF_NEXT, nodes[i + 1] if i + 1 < length else 0)
+        if doubly:
+            memory.poke(addr + OFF_PREV, nodes[i - 1] if i > 0 else 0)
+    return nodes
+
+
+class LinkedListWorkload(Workload):
+    """Repeatedly traverse a singly linked list, reading every field."""
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "list",
+        seed: int = 1,
+        length: int = 24,
+        via_global_ptr: bool = True,
+        policy: str = "shuffled",
+    ) -> None:
+        super().__init__(name, seed)
+        if length < 1:
+            raise ValueError("list length must be >= 1")
+        self.length = length
+        self.via_global_ptr = via_global_ptr
+        self.policy = policy
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        nodes = _build_list(self, memory, self.length, policy=self.policy)
+        head = nodes[0]
+
+        # Like xlevarg: the current-element pointer lives in a global slot
+        # (the paper's %ebx), so each iteration also performs a constant-
+        # address load and store.
+        ptr_slot = 0x1000_0100
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)                       # r2 = checksum
+        b.label("outer")
+        if self.via_global_ptr:
+            b.li(9, ptr_slot)
+            b.li(1, head)
+            b.st(1, 9, 0)                # *ptr_slot = head
+            b.label("inner")
+            b.ld(1, 9, 0)                # r1 = *ptr_slot   (constant address)
+            b.ld(6, 1, OFF_TYPE)         # n_type
+            b.ld(7, 1, OFF_VAL)          # val
+            b.add(2, 2, 7)
+            b.ld(8, 1, OFF_NEXT)         # next
+            b.st(8, 9, 0)                # *ptr_slot = next (move to next)
+            b.bne(8, 0, "inner")
+        else:
+            b.li(1, head)
+            b.label("inner")
+            b.ld(6, 1, OFF_TYPE)
+            b.ld(7, 1, OFF_VAL)
+            b.add(2, 2, 7)
+            b.ld(1, 1, OFF_NEXT)
+            b.bne(1, 0, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"length": self.length})
+
+
+class DoubleLinkedListWorkload(Workload):
+    """Traverse a doubly linked list forward, then back (Figure 2)."""
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "dlist",
+        seed: int = 1,
+        length: int = 16,
+        policy: str = "shuffled",
+    ) -> None:
+        super().__init__(name, seed)
+        if length < 2:
+            raise ValueError("doubly linked list needs at least 2 nodes")
+        self.length = length
+        self.policy = policy
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        nodes = _build_list(
+            self, memory, self.length, doubly=True, policy=self.policy
+        )
+        head = nodes[0]
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, head)
+        b.label("fwd")
+        b.ld(7, 1, OFF_VAL)              # val: direction-ambiguous load
+        b.add(2, 2, 7)
+        b.mov(3, 1)                      # remember the node we came from
+        b.ld(1, 1, OFF_NEXT)
+        b.bne(1, 0, "fwd")
+        b.mov(1, 3)                      # restart from the tail
+        b.label("bwd")
+        b.ld(7, 1, OFF_VAL)
+        b.add(2, 2, 7)
+        b.ld(1, 1, OFF_PREV)
+        b.bne(1, 0, "bwd")
+        b.jmp("outer")
+        return BuiltWorkload(b.build(), memory, {"length": self.length})
+
+
+class IndexListWorkload(Workload):
+    """The *go* coding of an RDS: parallel arrays with index links.
+
+    Field loads are ``ld rX, <array_base>(r_idx4)``: the array base address
+    sits in the immediate offset, so different fields (and different lists
+    over the same arrays) are distinguished only by offsets — the aliasing
+    scenario Section 3.3's offset-LSB scheme targets.
+    """
+
+    suite = "INT"
+
+    def __init__(
+        self,
+        name: str = "golist",
+        seed: int = 1,
+        length: int = 20,
+        capacity: int = 64,
+    ) -> None:
+        super().__init__(name, seed)
+        if not 1 <= length < capacity:
+            raise ValueError("need 1 <= length < capacity")
+        self.length = length
+        self.capacity = capacity
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 29)
+
+        vals_base = allocator.alloc_array(self.capacity, 4)
+        nexts_base = allocator.alloc_array(self.capacity, 4)
+
+        # Link `length` elements through shuffled indices; index 0 is the
+        # list terminator, so element slots come from 1..capacity-1.
+        slots = list(range(1, self.capacity))
+        rng.shuffle(slots)
+        chain = slots[: self.length]
+        for i, slot in enumerate(chain):
+            memory.poke(vals_base + 4 * slot, rng.randrange(1000))
+            nxt = chain[i + 1] if i + 1 < len(chain) else 0
+            memory.poke(nexts_base + 4 * slot, nxt)
+        start = chain[0]
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        b.li(1, start)                   # r1 = current index
+        b.label("inner")
+        b.muli(4, 1, 4)                  # r4 = idx * 4
+        b.ld(7, 4, vals_base)            # val  = vals[idx]
+        b.add(2, 2, 7)
+        b.ld(1, 4, nexts_base)           # next = nexts[idx]
+        b.bne(1, 0, "inner")
+        b.jmp("outer")
+        return BuiltWorkload(
+            b.build(), memory,
+            {"length": self.length, "capacity": self.capacity},
+        )

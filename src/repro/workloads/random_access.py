@@ -1,0 +1,100 @@
+"""Irregular and over-long access patterns — the predictor's adversaries.
+
+* :class:`RandomAccessWorkload` — an in-ISA linear-congruential generator
+  indexes a large table: genuinely unpredictable loads.  This is the
+  pollution source the PF bits (Section 3.5) exist to keep out of the LT.
+* :class:`LongChainWorkload` — a shuffled circular linked list far larger
+  than the Link Table: a *recurring* sequence that cannot fit, the second
+  pollution case the paper names ("very long sequences that would have not
+  fit into the LT anyway").
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..common.bitops import is_power_of_two
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["RandomAccessWorkload", "LongChainWorkload"]
+
+
+class RandomAccessWorkload(Workload):
+    """LCG-driven loads from a table of ``elements`` words."""
+
+    suite = "MISC"
+
+    def __init__(
+        self,
+        name: str = "random",
+        seed: int = 1,
+        elements: int = 16384,
+    ) -> None:
+        super().__init__(name, seed)
+        if not is_power_of_two(elements):
+            raise ValueError("elements must be a power of two")
+        self.elements = elements
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 71)
+        table = allocator.alloc_array(self.elements, 4)
+        # Sparse init is fine: untouched words read as zero.
+        for _ in range(min(self.elements, 512)):
+            memory.poke(table + 4 * rng.randrange(self.elements),
+                        rng.randrange(256))
+
+        index_mask = (self.elements - 1) << 2  # aligned pseudo-random index
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(1, self.seed * 2654435761 % (1 << 32))  # LCG state
+        b.li(2, 0)
+        b.label("loop")
+        b.muli(1, 1, 1103515245)
+        b.addi(1, 1, 12345)
+        b.andi(4, 1, index_mask)
+        b.ld(5, 4, table)
+        b.add(2, 2, 5)
+        b.jmp("loop")
+        return BuiltWorkload(b.build(), memory, {"elements": self.elements})
+
+
+class LongChainWorkload(Workload):
+    """Endless walk around a huge shuffled ring of list nodes."""
+
+    suite = "MISC"
+
+    def __init__(
+        self,
+        name: str = "longchain",
+        seed: int = 1,
+        nodes: int = 20000,
+    ) -> None:
+        super().__init__(name, seed)
+        if nodes < 2:
+            raise ValueError("ring needs at least two nodes")
+        self.nodes = nodes
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 73)
+        addrs = [allocator.alloc(16) for _ in range(self.nodes)]
+        for i, addr in enumerate(addrs):
+            memory.poke(addr + 4, rng.randrange(256))          # val
+            memory.poke(addr + 8, addrs[(i + 1) % self.nodes])  # next (ring)
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(1, addrs[0])
+        b.li(2, 0)
+        b.label("loop")
+        b.ld(7, 1, 4)
+        b.add(2, 2, 7)
+        b.ld(1, 1, 8)
+        b.jmp("loop")
+        return BuiltWorkload(b.build(), memory, {"nodes": self.nodes})

@@ -1,0 +1,144 @@
+"""JAVA-suite workload: unoptimised JIT-compiled stack-machine code.
+
+The paper attributes the JAVA traces' unusually high speedups to "the
+stack-based model and short procedures used in JAVA bytecode, and to the
+lack of optimizations performed by JAVA JIT compilers" — i.e. every
+bytecode operand round-trips through memory.  This workload generates many
+short "methods" whose bodies are straight-line compilations of random
+bytecode: each ``iconst``/``iload``/``iadd``/``istore`` becomes explicit
+operand-stack and locals-frame memory traffic, so the trace is dominated
+by highly regular stack loads issued from a large number of static load
+sites.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.instructions import SP
+from ..isa.memory import Memory
+from ..isa.program import ProgramBuilder
+from .base import BuiltWorkload, Workload
+
+__all__ = ["JavaJITWorkload"]
+
+
+class JavaJITWorkload(Workload):
+    """Call a chain of short, memory-heavy compiled methods in a loop."""
+
+    suite = "JAV"
+
+    def __init__(
+        self,
+        name: str = "javajit",
+        seed: int = 1,
+        methods: int = 24,
+        ops_per_method: int = 24,
+        locals_per_method: int = 6,
+    ) -> None:
+        super().__init__(name, seed)
+        if methods < 1 or ops_per_method < 1 or locals_per_method < 1:
+            raise ValueError("all sizing parameters must be positive")
+        self.methods = methods
+        self.ops_per_method = ops_per_method
+        self.locals_per_method = locals_per_method
+
+    def build(self) -> BuiltWorkload:
+        memory = Memory()
+        allocator = self.allocator(memory)
+        rng = random.Random(self.seed + 97)
+
+        # A per-method operand-stack region (the "expression stack").
+        opstack_base = allocator.alloc_array(64, 4)
+        frame_bytes = 4 * self.locals_per_method
+
+        # A small ring of heap objects for getfield ops: a global slot
+        # holds the current receiver, advanced once per outer iteration.
+        # Field loads are therefore stride-hostile but context-friendly.
+        objects = [allocator.alloc(16) for _ in range(6)]
+        for i, obj in enumerate(objects):
+            memory.poke(obj + 4, rng.randrange(100))          # field a
+            memory.poke(obj + 8, rng.randrange(100))          # field b
+            memory.poke(obj + 12, objects[(i + 1) % len(objects)])  # next
+        receiver_slot = 0x1000_0900
+        memory.poke(receiver_slot, objects[0])
+
+        b = ProgramBuilder(self.name)
+        b.label("main")
+        b.li(2, 0)
+        b.label("outer")
+        for m in range(self.methods):
+            b.call(f"method_{m}")
+        # Advance the receiver ring.
+        b.ld(12, 0, receiver_slot)
+        b.ld(12, 12, 12)                  # receiver = receiver.next
+        b.st(12, 0, receiver_slot)
+        b.jmp("outer")
+
+        for m in range(self.methods):
+            b.label(f"method_{m}")
+            # Prologue: carve a locals frame below the return address.
+            b.addi(SP, SP, -frame_bytes)
+            # Initialise locals from the method's own static data.
+            for slot in range(self.locals_per_method):
+                b.li(4, rng.randrange(100))
+                b.st(4, SP, 4 * slot)
+            # r10 = operand-stack pointer (empty).
+            b.li(10, opstack_base)
+            depth = 0  # statically tracked operand-stack depth
+
+            def push_reg(reg: int) -> None:
+                nonlocal depth
+                b.st(reg, 10, 0)
+                b.addi(10, 10, 4)
+                depth += 1
+
+            def pop_reg(reg: int) -> None:
+                nonlocal depth
+                b.addi(10, 10, -4)
+                b.ld(reg, 10, 0)
+                depth -= 1
+
+            for _ in range(self.ops_per_method):
+                # Keep the stack shallow and never let it underflow.
+                if depth < 2:
+                    op = rng.choice(("iconst", "iload", "getfield"))
+                else:
+                    op = rng.choice(
+                        ("iconst", "iload", "iadd", "istore", "iadd",
+                         "getfield")
+                    )
+                if op == "iconst":
+                    b.li(4, rng.randrange(64))
+                    push_reg(4)
+                elif op == "iload":
+                    slot = rng.randrange(self.locals_per_method)
+                    b.ld(4, SP, 4 * slot)
+                    push_reg(4)
+                elif op == "getfield":
+                    # Receiver from the global slot, then a field whose
+                    # address rotates with the receiver ring.
+                    b.ld(4, 0, receiver_slot)
+                    b.ld(4, 4, 4 if rng.random() < 0.5 else 8)
+                    push_reg(4)
+                elif op == "iadd":
+                    pop_reg(4)
+                    pop_reg(5)
+                    b.add(4, 4, 5)
+                    push_reg(4)
+                else:  # istore
+                    slot = rng.randrange(self.locals_per_method)
+                    pop_reg(4)
+                    b.st(4, SP, 4 * slot)
+            # Drain the operand stack into the checksum.
+            while depth > 0:
+                pop_reg(4)
+                b.add(2, 2, 4)
+            # Epilogue.
+            b.addi(SP, SP, frame_bytes)
+            b.ret()
+
+        return BuiltWorkload(
+            b.build(), memory,
+            {"methods": self.methods, "ops_per_method": self.ops_per_method},
+        )

@@ -1,0 +1,120 @@
+"""Tests for the Section 2 load-behaviour analysis."""
+
+import pytest
+
+from repro.analysis import (
+    CLASS_CONSTANT,
+    CLASS_CONTEXT,
+    CLASS_IRREGULAR,
+    CLASS_STRIDE,
+    analyze_trace,
+    fingerprint,
+    load_fingerprint,
+)
+from repro.analysis.patterns import classify
+from repro.trace.trace import Trace
+from repro.workloads import (
+    ArraySumWorkload,
+    LinkedListWorkload,
+    RandomAccessWorkload,
+    trace_workload,
+)
+
+
+class TestClassify:
+    def test_constant(self):
+        p = classify([0x2000] * 20)
+        assert p.classification == CLASS_CONSTANT
+        assert p.distinct_addresses == 1
+
+    def test_stride(self):
+        p = classify([0x2000 + 16 * i for i in range(20)])
+        assert p.classification == CLASS_STRIDE
+        assert p.dominant_stride == 16
+
+    def test_negative_stride(self):
+        p = classify([0x9000 - 8 * i for i in range(20)])
+        assert p.classification == CLASS_STRIDE
+        assert p.dominant_stride == -8
+
+    def test_context(self):
+        ring = [0x2010, 0x2380, 0x2140, 0x2220]
+        p = classify(ring * 10)
+        assert p.classification == CLASS_CONTEXT
+        assert p.context_fraction > 0.85
+        assert p.stride_fraction < 0.5
+
+    def test_irregular(self):
+        import random
+
+        rng = random.Random(5)
+        p = classify([rng.randrange(2**24) * 4 for _ in range(100)])
+        assert p.classification == CLASS_IRREGULAR
+
+    def test_too_short_returns_none(self):
+        assert classify([1, 2, 3]) is None
+
+
+class TestAnalyzeTrace:
+    def test_linked_list_is_context(self):
+        trace = trace_workload(
+            LinkedListWorkload(seed=3, via_global_ptr=False),
+            max_instructions=20_000,
+        )
+        shares = analyze_trace(trace).class_shares()
+        assert shares.get(CLASS_CONTEXT, 0) > 0.8
+
+    def test_array_is_stride(self):
+        trace = trace_workload(ArraySumWorkload(seed=3), max_instructions=20_000)
+        shares = analyze_trace(trace).class_shares()
+        assert shares.get(CLASS_STRIDE, 0) > 0.8
+
+    def test_random_is_irregular(self):
+        trace = trace_workload(
+            RandomAccessWorkload(seed=3), max_instructions=20_000,
+        )
+        shares = analyze_trace(trace).class_shares()
+        assert shares.get(CLASS_IRREGULAR, 0) > 0.8
+
+    def test_render(self):
+        trace = trace_workload(ArraySumWorkload(seed=3), max_instructions=10_000)
+        text = analyze_trace(trace).render(top=3)
+        assert "stride" in text
+        assert "dynamic loads" in text
+
+    def test_profiles_carry_ips(self):
+        trace = trace_workload(ArraySumWorkload(seed=3), max_instructions=10_000)
+        analysis = analyze_trace(trace)
+        assert all(p.ip > 0 for p in analysis.profiles)
+
+    def test_min_samples_respected(self):
+        trace = Trace("tiny")
+        for i in range(4):
+            trace.append(1, 0x100, addr=0x2000, offset=0)
+        assert analyze_trace(trace, min_samples=8).profiles == []
+
+
+class TestFingerprint:
+    def test_paper_style_letters(self):
+        assert fingerprint([10, 80, 40, 20, 10, 80]) == "A B C D A B"
+
+    def test_limit(self):
+        assert fingerprint(range(100), limit=5).count(" ") == 4
+
+    def test_alphabet_overflow(self):
+        text = fingerprint(range(30))
+        assert "?" in text
+
+    def test_load_fingerprint_filters_by_ip(self):
+        trace = Trace("f")
+        trace.append(1, 0x100, addr=0x2000, offset=0)
+        trace.append(1, 0x200, addr=0x9999, offset=0)
+        trace.append(1, 0x100, addr=0x3000, offset=0)
+        trace.append(1, 0x100, addr=0x2000, offset=0)
+        assert load_fingerprint(trace, 0x100) == "A B A"
+
+    def test_repeating_ring_fingerprint(self):
+        """The Section 2.1 fingerprint shape: a short ring repeats."""
+        ring = [0x18, 0x88, 0x48, 0x28]
+        text = fingerprint(ring * 3)
+        assert text == "A B C D A B C D A B C D"

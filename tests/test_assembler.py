@@ -1,0 +1,143 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import FP, SP, Op
+
+
+class TestBasicParsing:
+    def test_empty_source(self):
+        assert len(assemble("")) == 0
+
+    def test_comments_ignored(self):
+        program = assemble("; comment only\n# another\n  nop ; trailing\n")
+        assert len(program) == 1
+
+    def test_simple_program(self):
+        program = assemble(
+            """
+            main:
+                li r1, 10
+                addi r1, r1, -1
+                bne r1, r0, main
+                halt
+            """
+        )
+        assert len(program) == 4
+        assert program.instructions[2].target == 0
+
+    def test_memory_operands(self):
+        program = assemble("ld r1, 8(r2)\nst r3, -4(sp)\nld r4, (r5)")
+        ld = program.instructions[0]
+        assert ld.op is Op.LD and ld.imm == 8 and ld.rs1 == 2
+        st = program.instructions[1]
+        assert st.imm == -4 and st.rs1 == SP and st.rs2 == 3
+        assert program.instructions[2].imm == 0
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0x2000\nld r2, 0x10(r1)")
+        assert program.instructions[0].imm == 0x2000
+        assert program.instructions[1].imm == 0x10
+
+    def test_register_aliases(self):
+        program = assemble("mov sp, fp")
+        instr = program.instructions[0]
+        assert instr.rd == SP and instr.rs1 == FP
+
+    def test_label_same_line(self):
+        program = assemble("loop: nop\njmp loop")
+        assert program.labels["loop"] == 0
+
+    def test_multiple_labels_one_point(self):
+        program = assemble("a: b: halt")
+        assert program.labels["a"] == program.labels["b"] == 0
+
+    def test_every_mnemonic_assembles(self):
+        source = """
+        l:
+            li r1, 1
+            mov r2, r1
+            add r3, r1, r2
+            sub r3, r1, r2
+            mul r3, r1, r2
+            div r3, r1, r2
+            mod r3, r1, r2
+            and r3, r1, r2
+            or r3, r1, r2
+            xor r3, r1, r2
+            shl r3, r1, r2
+            shr r3, r1, r2
+            addi r3, r1, 2
+            muli r3, r1, 2
+            andi r3, r1, 2
+            ld r4, 4(r1)
+            st r4, 4(r1)
+            beq r1, r2, l
+            bne r1, r2, l
+            blt r1, r2, l
+            bge r1, r2, l
+            jmp l
+            call l
+            ret
+            jr r1
+            push r1
+            pop r2
+            nop
+            halt
+        """
+        assert len(assemble(source)) == 29
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("li r16, 1")
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble("mov rx, r1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="bad immediate"):
+            assemble("li r1, banana")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="bad memory operand"):
+            assemble("ld r1, r2")
+
+    def test_undefined_label(self):
+        with pytest.raises(Exception):
+            assemble("jmp nowhere")
+
+    def test_bad_label_name(self):
+        with pytest.raises(AssemblyError, match="bad label"):
+            assemble("2cool: nop")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nnop\nbadop r1\n")
+        except AssemblyError as exc:
+            assert exc.line_no == 3
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblyError")
+
+
+class TestRoundTrip:
+    def test_assembled_matches_builder_output(self):
+        from repro.isa.program import ProgramBuilder
+
+        text = assemble("main: li r1, 5\nloop: addi r1, r1, -1\nbne r1, r0, loop\nhalt")
+        b = ProgramBuilder()
+        b.label("main").li(1, 5).label("loop").addi(1, 1, -1)
+        b.bne(1, 0, "loop").halt()
+        built = b.build()
+        assert [str(i) for i in text.instructions] == [
+            str(i) for i in built.instructions
+        ]

@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import (
+    bits,
+    fold_xor,
+    high_bits,
+    is_power_of_two,
+    log2_exact,
+    low_bits,
+    mask,
+    popcount,
+    sign_extend,
+    truncate,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(8) == 0xFF
+
+    def test_word_width(self):
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=128))
+    def test_popcount_of_mask_is_width(self, width):
+        assert popcount(mask(width)) == width
+
+
+class TestBits:
+    def test_middle_slice(self):
+        assert bits(0b10110, 1, 4) == 0b011
+
+    def test_full_value(self):
+        assert bits(0xAB, 0, 8) == 0xAB
+
+    def test_empty_range(self):
+        assert bits(0xFF, 3, 3) == 0
+
+    def test_beyond_value_is_zero(self):
+        assert bits(0xF, 8, 12) == 0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(1, 4, 2)
+        with pytest.raises(ValueError):
+            bits(1, -1, 2)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 20),
+           st.integers(0, 20))
+    def test_matches_shift_and_mask(self, value, lo, width):
+        assert bits(value, lo, lo + width) == (value >> lo) & mask(width)
+
+
+class TestHighLowBits:
+    def test_low_bits(self):
+        assert low_bits(0xABCD, 8) == 0xCD
+
+    def test_high_bits(self):
+        assert high_bits(0xABCD, 16, 8) == 0xAB
+
+    def test_high_bits_width_check(self):
+        with pytest.raises(ValueError):
+            high_bits(0xF, 4, 8)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_split_recombines(self, value):
+        hi = high_bits(value, 32, 12)
+        lo = low_bits(value, 20)
+        assert (hi << 20) | lo == value
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative(self):
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x80, 8) == -128
+
+    def test_truncates_first(self):
+        assert sign_extend(0x1FF, 8) == -1
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_roundtrip_16bit(self, value):
+        assert sign_extend(value & 0xFFFF, 16) == value
+
+
+class TestFoldXor:
+    def test_small_value_unchanged(self):
+        assert fold_xor(0b101, 8) == 0b101
+
+    def test_folds_high_bits(self):
+        # 0x1_02 folds to 0x02 ^ 0x01.
+        assert fold_xor(0x102, 8) == 0x02 ^ 0x01
+
+    def test_zero(self):
+        assert fold_xor(0, 8) == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            fold_xor(5, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64), st.integers(1, 24))
+    def test_result_fits_width(self, value, width):
+        assert 0 <= fold_xor(value, width) <= mask(width)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(4096) == 12
+
+    def test_log2_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_log2_inverse(self, exp):
+        assert log2_exact(1 << exp) == exp
+
+
+class TestTruncate:
+    @given(st.integers(min_value=0, max_value=2**48), st.integers(0, 40))
+    def test_equals_mod(self, value, width):
+        assert truncate(value, width) == value % (1 << width)

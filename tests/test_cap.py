@@ -1,0 +1,185 @@
+"""Tests for the CAP predictor: contexts, base addresses, pollution control."""
+
+import pytest
+
+from repro.predictors import (
+    CORRELATION_DELTA,
+    CORRELATION_REAL,
+    CAPConfig,
+    CAPPredictor,
+)
+from repro.predictors.base import lb_key
+from repro.predictors.confidence import CFI_OFF
+from repro.predictors.link_table import LinkTableConfig
+
+
+def drive(predictor, sequence):
+    """sequence: iterable of (ip, offset, addr). Returns (spec, correct)."""
+    spec = correct = 0
+    for ip, offset, addr in sequence:
+        p = predictor.predict(ip, offset)
+        if p.speculative:
+            spec += 1
+            if p.address == addr:
+                correct += 1
+        predictor.update(ip, offset, addr, p)
+    return spec, correct
+
+
+def ring(ip, offset, bases, reps):
+    """A repeating RDS-style access sequence for one static load."""
+    return [(ip, offset, base + offset) for _ in range(reps) for base in bases]
+
+
+BASES = [0x2000_0010, 0x2000_0380, 0x2000_0140, 0x2000_0220, 0x2000_02A0]
+
+
+class TestContextPrediction:
+    def test_learns_recurring_sequence(self):
+        p = CAPPredictor()
+        spec, correct = drive(p, ring(0x100, 8, BASES, 50))
+        assert spec / (len(BASES) * 50) > 0.9
+        assert correct == spec
+
+    def test_stride_unfriendly_sequence(self):
+        """The sequence CAP learns here has no constant stride at all."""
+        deltas = {
+            (BASES[i + 1] - BASES[i]) for i in range(len(BASES) - 1)
+        }
+        assert len(deltas) > 1
+
+    def test_no_prediction_before_training(self):
+        p = CAPPredictor()
+        assert not p.predict(0x100, 8).made
+
+    def test_long_random_sequence_never_confident(self):
+        import random
+
+        rng = random.Random(7)
+        p = CAPPredictor()
+        seq = [(0x100, 0, rng.randrange(2**24) * 4) for _ in range(400)]
+        spec, _ = drive(p, seq)
+        assert spec < 8
+
+
+class TestGlobalCorrelation:
+    def test_fields_share_links(self):
+        """Training one field predicts a *different* field's load at once.
+
+        This is the Section 3.3 property: base addresses make all loads of
+        the same RDS share LT entries.
+        """
+        p = CAPPredictor()
+        # Train with the 'next' field (offset 8) until solid.
+        drive(p, ring(0x100, 8, BASES, 40))
+        # A fresh static load walking the same nodes via offset 4: after
+        # one pass to set up its LB history, its predictions come from the
+        # links the offset-8 load created.
+        drive(p, ring(0x200, 4, BASES, 1))
+        spec, correct = drive(p, ring(0x200, 4, BASES, 5))
+        assert correct > 0.8 * len(BASES) * 5
+
+    def test_real_mode_does_not_share(self):
+        p = CAPPredictor(CAPConfig(correlation=CORRELATION_REAL))
+        drive(p, ring(0x100, 8, BASES, 40))
+        drive(p, ring(0x200, 4, BASES, 1))
+        spec, correct = drive(p, ring(0x200, 4, BASES, 2))
+        assert correct == 0  # addresses differ, no shared links
+
+    def test_base_address_roundtrip(self):
+        comp = CAPPredictor().component
+        for addr in (0x2000_0018, 0x2000_01FF, 0x2000_0000):
+            for offset in (0, 4, 8, 0xFC):
+                base = comp.base_of(addr, offset)
+                assert comp.addr_of(base, offset) == addr
+
+    def test_base_keeps_address_msbs(self):
+        comp = CAPPredictor().component
+        base = comp.base_of(0x2000_0008, 0xFC)
+        assert base >> 8 == 0x2000_0008 >> 8  # MSBs untouched
+
+    def test_offset_truncated_to_8_bits(self):
+        """Only the offset LSBs matter (huge displacements share bases)."""
+        comp = CAPPredictor().component
+        a = comp.base_of(0x2000_0110, 0x1_0010)
+        b = comp.base_of(0x2000_0110, 0x0_0010)
+        assert a == b
+
+
+class TestDeltaMode:
+    def test_delta_mode_predicts_recurring_deltas(self):
+        p = CAPPredictor(CAPConfig(correlation=CORRELATION_DELTA))
+        spec, correct = drive(p, ring(0x100, 8, BASES, 60))
+        assert correct > 0.8 * spec if spec else True
+        assert spec > 0
+
+
+class TestConfidenceIntegration:
+    def test_lt_tags_block_aliased_speculation(self):
+        # Tiny LT: two different loads' contexts collide by index; tags
+        # must keep the wrong link from being speculated.
+        cfg = CAPConfig(
+            lt=LinkTableConfig(entries=16, tag_bits=8), cfi_mode=CFI_OFF,
+        )
+        p = CAPPredictor(cfg)
+        drive(p, ring(0x100, 0, [0x2000_0000 + 64 * i for i in range(10)], 30))
+        metrics_spec, metrics_correct = drive(
+            p, ring(0x100, 0, [0x2000_0000 + 64 * i for i in range(10)], 5)
+        )
+        # Whatever speculated must be overwhelmingly correct.
+        if metrics_spec:
+            assert metrics_correct / metrics_spec > 0.9
+
+    def test_confidence_threshold(self):
+        p = CAPPredictor(CAPConfig(confidence_threshold=3))
+        spec3, _ = drive(p, ring(0x100, 8, BASES, 10))
+        p2 = CAPPredictor(CAPConfig(confidence_threshold=1))
+        spec1, _ = drive(p2, ring(0x100, 8, BASES, 10))
+        assert spec1 > spec3
+
+
+class TestSpeculativeMode:
+    def test_gap_zero_equivalence(self):
+        seq = ring(0x100, 8, BASES, 30)
+        plain = CAPPredictor()
+        r1 = drive(plain, seq)
+        spec = CAPPredictor()
+        spec.speculative_mode = True
+        r2 = drive(spec, seq)
+        assert r1 == r2
+
+    def test_spec_history_advances_on_prediction(self):
+        p = CAPPredictor()
+        p.speculative_mode = True
+        for _ in range(30):
+            for base in BASES:
+                pred = p.predict(0x100, 8)
+                p.update(0x100, 8, base + 8, pred)
+        state = p.load_buffer.peek(lb_key(0x100))
+        h_before = state.spec_history
+        p.predict(0x100, 8)  # in-flight, no update yet
+        assert state.spec_history != h_before
+        assert state.pending == 1
+
+
+class TestHousekeeping:
+    def test_reset(self):
+        p = CAPPredictor()
+        drive(p, ring(0x100, 8, BASES, 20))
+        p.reset()
+        assert not p.predict(0x100, 8).made
+        assert p.component.link_table.occupancy() == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CAPConfig(correlation="nonsense")
+        with pytest.raises(ValueError):
+            CAPConfig(history_length=0)
+        with pytest.raises(ValueError):
+            CAPConfig(offset_bits=0)
+
+    def test_with_lt_helper(self):
+        cfg = CAPConfig().with_lt(entries=8192, tag_bits=4)
+        assert cfg.lt.entries == 8192
+        assert cfg.lt.tag_bits == 4
+        assert cfg.history_length == 4  # untouched

@@ -1,0 +1,114 @@
+"""Focused tests on Section 5 mechanics: misprediction propagation,
+suppression windows, and speculative-state repair."""
+
+from repro.predictors import CAPConfig, CAPPredictor, StridePredictor
+from repro.predictors.base import lb_key
+
+
+class TestCAPDominoEffect:
+    """Section 5.2: 'Any single misprediction has a domino effect.'"""
+
+    def _train_ring(self, p, bases, reps, offset=8):
+        for _ in range(reps):
+            for b in bases:
+                pred = p.predict(0x100, offset)
+                p.update(0x100, offset, b + offset, pred)
+
+    def test_suppression_set_on_wrong_resolution(self):
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 5, 3, 7)]
+        p = CAPPredictor()
+        p.speculative_mode = True
+        self._train_ring(p, bases, 30)
+        state = p.load_buffer.peek(lb_key(0x100))
+
+        # Three in-flight predictions, then resolve the first one WRONG.
+        inflight = [p.predict(0x100, 8) for _ in range(3)]
+        p.update(0x100, 8, 0x5000_0008, inflight[0])
+        assert state.suppress == state.pending  # wrong-path drain window
+        assert state.spec_history == state.history  # repaired
+
+    def test_suppression_blocks_speculation(self):
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 5, 3, 7)]
+        p = CAPPredictor()
+        p.speculative_mode = True
+        self._train_ring(p, bases, 30)
+        inflight = [p.predict(0x100, 8) for _ in range(3)]
+        p.update(0x100, 8, 0x5000_0008, inflight[0])
+        assert not p.predict(0x100, 8).speculative
+
+    def test_suppression_drains(self):
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 5, 3, 7)]
+        p = CAPPredictor()
+        p.speculative_mode = True
+        self._train_ring(p, bases, 30)
+        state = p.load_buffer.peek(lb_key(0x100))
+        inflight = [p.predict(0x100, 8) for _ in range(2)]
+        p.update(0x100, 8, 0x5000_0008, inflight[0])
+        # Resolve the remaining in-flight instances (also wrong-path, so
+        # train with whatever they predicted).
+        p.update(0x100, 8, bases[0] + 8, inflight[1])
+        assert state.pending == 0
+        # Counter hit zero (suppress may re-arm only on further wrongs).
+        assert state.suppress <= 1
+
+    def test_no_catch_up_for_context_predictors(self):
+        """After repair the spec history equals the architectural history —
+        CAP cannot extrapolate (Section 5.2)."""
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 5, 3, 7)]
+        p = CAPPredictor()
+        p.speculative_mode = True
+        self._train_ring(p, bases, 30)
+        state = p.load_buffer.peek(lb_key(0x100))
+        pred = p.predict(0x100, 8)
+        p.update(0x100, 8, 0x5000_0008, pred)
+        assert state.spec_history == state.history
+
+
+class TestStrideCatchUpWindow:
+    def test_new_predictions_correct_immediately_after_catch_up(self):
+        """Section 5.2: 'the stride predictor may catch up easily once the
+        misprediction is found' — new predictions extrapolate correctly
+        while old ones are still pending."""
+        p = StridePredictor()
+        p.speculative_mode = True
+        # Train a 16-byte stride.
+        for i in range(12):
+            pred = p.predict(0x100, 0)
+            p.update(0x100, 0, 0x2000 + 16 * i, pred)
+        # Two in-flight predictions, then the stream JUMPS to a new array
+        # (single wrong stride), resolved for the older in-flight one.
+        inflight = [p.predict(0x100, 0) for _ in range(2)]
+        p.update(0x100, 0, 0x9000, inflight[0])
+        # The next prediction must extrapolate: 0x9000 + 16*(pending=1) + 16.
+        pred = p.predict(0x100, 0)
+        assert pred.address == 0x9000 + 16 * 2
+
+    def test_confidence_reset_throttles_speculation_not_prediction(self):
+        p = StridePredictor()
+        p.speculative_mode = True
+        for i in range(12):
+            pred = p.predict(0x100, 0)
+            p.update(0x100, 0, 0x2000 + 16 * i, pred)
+        pred = p.predict(0x100, 0)
+        p.update(0x100, 0, 0x9000, pred)          # wrong -> conf reset
+        nxt = p.predict(0x100, 0)
+        assert nxt.made                           # prediction still offered
+        assert not nxt.speculative                # but not speculated
+
+
+class TestEvictionRobustness:
+    def test_pending_counters_survive_eviction(self):
+        """LB entries can be evicted with predictions in flight; the
+        replacement entry must not underflow its counters."""
+        config = CAPConfig(lb_entries=4, lb_ways=1)
+        p = CAPPredictor(config)
+        p.speculative_mode = True
+        preds = {}
+        for ip in range(0x100, 0x100 + 4 * 40, 4):
+            preds[ip] = p.predict(ip, 0)
+        # Resolve them all; most entries were evicted in between.
+        for ip, pred in preds.items():
+            p.update(ip, 0, 0x2000, pred)
+        for key, state in p.load_buffer:
+            assert state.pending >= 0
+            assert state.suppress >= 0

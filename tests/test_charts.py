@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.eval.charts import bar_chart, grouped_bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_single_series(self):
+        text = bar_chart({"a": 0.5, "b": 1.0}, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10       # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_formatter(self):
+        text = bar_chart({"x": 2.0}, formatter=lambda v: f"{v:.1f}x")
+        assert "2.0x" in text
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.0%" in text
+
+
+class TestGroupedBarChart:
+    def test_groups_and_fills(self):
+        text = grouped_bar_chart(
+            ["g1", "g2"],
+            {"s1": [0.5, 1.0], "s2": [0.25, 0.75]},
+            width=8,
+        )
+        assert "#" in text and "=" in text      # distinct fills per series
+        assert "g1" in text and "g2" in text
+        assert "s1" in text and "s2" in text
+
+    def test_shared_scale(self):
+        text = grouped_bar_chart(
+            ["a", "b"], {"s": [0.5, 1.0]}, width=20,
+        )
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_blank_line_between_groups(self):
+        text = grouped_bar_chart(
+            ["a", "b"], {"s1": [1, 1], "s2": [1, 1]},
+        )
+        assert "" in text.splitlines()
+
+    def test_no_trailing_blank(self):
+        text = grouped_bar_chart(["a"], {"s1": [1], "s2": [1]})
+        assert not text.endswith("\n")
+        assert text.splitlines()[-1].strip()
+
+    def test_empty(self):
+        assert grouped_bar_chart([], {}) == ""
+
+
+class TestSeriesChart:
+    def test_alias_of_grouped(self):
+        a = series_chart(["1", "2"], {"s": [0.1, 0.2]})
+        b = grouped_bar_chart(["1", "2"], {"s": [0.1, 0.2]})
+        assert a == b
+
+
+class TestResultIntegration:
+    def test_suite_comparison_chart(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        from repro.eval import experiments as E
+
+        result = E.baselines(traces=["INT_xli"], instructions=5000)
+        chart = result.render_chart(width=20)
+        assert "INT" in chart and "|" in chart
+
+    def test_history_chart(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        from repro.eval import experiments as E
+
+        result = E.fig9(traces=["INT_xli"], instructions=5000, lengths=[1, 2])
+        chart = result.render_chart()
+        assert "global correlation" in chart

@@ -1,0 +1,95 @@
+"""Tests for the control-flow-indication confidence filter (Section 3.4)."""
+
+import pytest
+
+from repro.predictors.confidence import (
+    CFI_LAST,
+    CFI_OFF,
+    CFI_PATHS,
+    ControlFlowIndication,
+)
+
+
+class TestOffMode:
+    def test_always_allows(self):
+        cfi = ControlFlowIndication(CFI_OFF)
+        cfi.record(0b1010, correct=False, speculated=True)
+        assert cfi.allows(0b1010)
+
+
+class TestLastMode:
+    def test_allows_initially(self):
+        assert ControlFlowIndication(CFI_LAST, bits=4).allows(0b0110)
+
+    def test_blocks_recorded_pattern(self):
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0b0110, correct=False, speculated=True)
+        assert not cfi.allows(0b0110)
+        assert cfi.allows(0b0111)
+
+    def test_only_low_bits_matter(self):
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0xF6, correct=False, speculated=True)
+        assert not cfi.allows(0x06)  # same 4 LSBs
+
+    def test_new_misprediction_overwrites(self):
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0b0001, correct=False, speculated=True)
+        cfi.record(0b0010, correct=False, speculated=True)
+        assert cfi.allows(0b0001)       # only the last one is recorded
+        assert not cfi.allows(0b0010)
+
+    def test_correct_prediction_redeems_pattern(self):
+        """Without redemption a blocked path could never unblock itself."""
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0b0101, correct=False, speculated=True)
+        cfi.record(0b0101, correct=True, speculated=False)
+        assert cfi.allows(0b0101)
+
+    def test_non_speculated_miss_not_recorded(self):
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0b0011, correct=False, speculated=False)
+        assert cfi.allows(0b0011)
+
+    def test_reset(self):
+        cfi = ControlFlowIndication(CFI_LAST, bits=4)
+        cfi.record(0, correct=False, speculated=True)
+        cfi.reset()
+        assert cfi.allows(0)
+
+
+class TestPathsMode:
+    def test_blocks_only_offending_path(self):
+        cfi = ControlFlowIndication(CFI_PATHS, bits=2)
+        cfi.record(0b01, correct=False, speculated=True)
+        assert not cfi.allows(0b01)
+        assert cfi.allows(0b00)
+        assert cfi.allows(0b10)
+
+    def test_remembers_multiple_bad_paths(self):
+        """Unlike CFI_LAST, the paths variant keeps all bad paths."""
+        cfi = ControlFlowIndication(CFI_PATHS, bits=2)
+        cfi.record(0b01, correct=False, speculated=True)
+        cfi.record(0b10, correct=False, speculated=True)
+        assert not cfi.allows(0b01)
+        assert not cfi.allows(0b10)
+
+    def test_per_path_redemption(self):
+        cfi = ControlFlowIndication(CFI_PATHS, bits=2)
+        cfi.record(0b01, correct=False, speculated=True)
+        cfi.record(0b10, correct=False, speculated=True)
+        cfi.record(0b01, correct=True, speculated=False)
+        assert cfi.allows(0b01)
+        assert not cfi.allows(0b10)
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            ControlFlowIndication("bogus")
+
+    def test_bits_range(self):
+        with pytest.raises(ValueError):
+            ControlFlowIndication(CFI_LAST, bits=0)
+        with pytest.raises(ValueError):
+            ControlFlowIndication(CFI_LAST, bits=17)

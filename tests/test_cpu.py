@@ -1,0 +1,301 @@
+"""Tests for the functional CPU: instruction semantics and trace emission."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cpu import CPU, CPUError
+from repro.isa.memory import AddressSpace, Memory
+from repro.trace.event import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_LOAD,
+    KIND_RET,
+    KIND_STORE,
+)
+from repro.trace.trace import Trace
+
+
+def run(source, memory=None, max_instructions=100_000, trace=False):
+    cpu = CPU(memory or Memory())
+    t = Trace("t") if trace else None
+    result = cpu.run(assemble(source), max_instructions=max_instructions, trace=t)
+    return result, cpu, t
+
+
+class TestArithmetic:
+    def test_li_add(self):
+        result, _, _ = run("li r1, 3\nli r2, 4\nadd r3, r1, r2\nhalt")
+        assert result.registers[3] == 7
+
+    def test_sub_wraps_unsigned(self):
+        result, _, _ = run("li r1, 1\nli r2, 2\nsub r3, r1, r2\nhalt")
+        assert result.registers[3] == 0xFFFFFFFF
+
+    def test_mul_wraps_32bit(self):
+        result, _, _ = run(
+            "li r1, 0x10000\nli r2, 0x10001\nmul r3, r1, r2\nhalt"
+        )
+        assert result.registers[3] == 0x10000 & 0xFFFFFFFF
+
+    def test_div_mod(self):
+        result, _, _ = run(
+            "li r1, 17\nli r2, 5\ndiv r3, r1, r2\nmod r4, r1, r2\nhalt"
+        )
+        assert result.registers[3] == 3
+        assert result.registers[4] == 2
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(CPUError, match="division by zero"):
+            run("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt")
+
+    def test_logic_and_shifts(self):
+        result, _, _ = run(
+            """
+            li r1, 0b1100
+            li r2, 0b1010
+            and r3, r1, r2
+            or  r4, r1, r2
+            xor r5, r1, r2
+            li r6, 2
+            shl r7, r1, r6
+            shr r8, r1, r6
+            halt
+            """
+        )
+        regs = result.registers
+        assert regs[3] == 0b1000
+        assert regs[4] == 0b1110
+        assert regs[5] == 0b0110
+        assert regs[7] == 0b110000
+        assert regs[8] == 0b11
+
+    def test_immediates(self):
+        result, _, _ = run(
+            "li r1, 10\naddi r2, r1, -3\nmuli r3, r1, 4\nandi r4, r1, 6\nhalt"
+        )
+        assert result.registers[2] == 7
+        assert result.registers[3] == 40
+        assert result.registers[4] == 2
+
+    def test_li_negative_wraps(self):
+        result, _, _ = run("li r1, -1\nhalt")
+        assert result.registers[1] == 0xFFFFFFFF
+
+
+class TestBranches:
+    def test_loop_counts(self):
+        result, _, _ = run(
+            """
+            li r1, 5
+            li r2, 0
+            loop:
+                addi r2, r2, 1
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        assert result.registers[2] == 5
+
+    def test_signed_blt(self):
+        # -1 (0xFFFFFFFF unsigned) must compare less than 1.
+        result, _, _ = run(
+            """
+            li r1, -1
+            li r2, 1
+            li r3, 0
+            blt r1, r2, less
+            halt
+            less:
+                li r3, 99
+                halt
+            """
+        )
+        assert result.registers[3] == 99
+
+    def test_bge_signed(self):
+        result, _, _ = run(
+            """
+            li r1, 1
+            li r2, -1
+            li r3, 0
+            bge r1, r2, ge
+            halt
+            ge: li r3, 1
+            halt
+            """
+        )
+        assert result.registers[3] == 1
+
+    def test_beq_not_taken_falls_through(self):
+        result, _, _ = run(
+            "li r1, 1\nli r2, 2\nbeq r1, r2, skip\nli r3, 7\nskip: halt"
+        )
+        assert result.registers[3] == 7
+
+
+class TestMemoryOps:
+    def test_load_store(self):
+        result, _, _ = run(
+            "li r1, 0x2000\nli r2, 55\nst r2, 8(r1)\nld r3, 8(r1)\nhalt"
+        )
+        assert result.registers[3] == 55
+
+    def test_load_uninitialised_is_zero(self):
+        result, _, _ = run("li r1, 0x3000\nld r2, 0(r1)\nhalt")
+        assert result.registers[2] == 0
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        result, _, _ = run("li r1, 9\npush r1\nli r1, 0\npop r2\nhalt")
+        assert result.registers[2] == 9
+
+    def test_sp_restored_after_push_pop(self):
+        result, _, _ = run("push r1\npop r2\nhalt")
+        from repro.isa.instructions import SP
+
+        assert result.registers[SP] == AddressSpace.STACK_BASE
+
+    def test_call_ret(self):
+        result, _, _ = run(
+            """
+            main:
+                call fn
+                halt
+            fn:
+                li r1, 42
+                ret
+            """
+        )
+        assert result.registers[1] == 42
+
+    def test_nested_calls(self):
+        result, _, _ = run(
+            """
+            main:
+                call outer
+                halt
+            outer:
+                call inner
+                addi r1, r1, 1
+                ret
+            inner:
+                li r1, 10
+                ret
+            """
+        )
+        assert result.registers[1] == 11
+
+    def test_recursion(self):
+        # r1 = sum of 1..5 by recursion.
+        result, _, _ = run(
+            """
+            main:
+                li r1, 5
+                li r2, 0
+                call sum
+                halt
+            sum:
+                beq r1, r0, done
+                add r2, r2, r1
+                addi r1, r1, -1
+                push r1
+                call sum
+                pop r1
+            done:
+                ret
+            """
+        )
+        assert result.registers[2] == 15
+
+    def test_jr_indirect(self):
+        source = """
+        main:
+            li r1, 0x100c
+            jr r1
+            nop
+            halt
+        """
+        result, _, _ = run(source)
+        assert result.halted
+        assert result.instructions == 3  # li, jr, halt (nop skipped)
+
+
+class TestLimitsAndErrors:
+    def test_instruction_limit(self):
+        result, _, _ = run("loop: jmp loop", max_instructions=500)
+        assert result.hit_limit
+        assert result.instructions == 500
+
+    def test_halt_sets_flag(self):
+        result, _, _ = run("halt")
+        assert result.halted and not result.hit_limit
+
+    def test_empty_program(self):
+        cpu = CPU()
+        from repro.isa.program import ProgramBuilder
+
+        result = cpu.run(ProgramBuilder().build())
+        assert result.instructions == 0 and result.halted
+
+    def test_pc_fell_off_end(self):
+        with pytest.raises(CPUError, match="PC"):
+            run("nop")
+
+
+class TestTraceEmission:
+    def test_kinds_recorded(self):
+        _, _, t = run(
+            """
+            main:
+                li r1, 0x2000
+                ld r2, 4(r1)
+                st r2, 8(r1)
+                beq r2, r0, over
+            over:
+                call fn
+                halt
+            fn:
+                push r1
+                pop r3
+                ret
+            """,
+            trace=True,
+        )
+        kinds = t.kind
+        assert KIND_ALU in kinds
+        assert KIND_LOAD in kinds
+        assert KIND_STORE in kinds
+        assert KIND_BRANCH in kinds
+        assert KIND_CALL in kinds
+        assert KIND_RET in kinds
+
+    def test_load_event_fields(self):
+        _, _, t = run("li r1, 0x2000\nld r2, 12(r1)\nhalt", trace=True)
+        loads = list(t.loads())
+        assert len(loads) == 1
+        assert loads[0].addr == 0x200C
+        assert loads[0].offset == 12
+
+    def test_branch_taken_flag(self):
+        _, _, t = run(
+            "li r1, 1\nbne r1, r0, over\nnop\nover: beq r1, r0, end\nend: halt",
+            trace=True,
+        )
+        branch_takens = [
+            t.taken[i] for i in range(len(t)) if t.kind[i] == KIND_BRANCH
+        ]
+        assert branch_takens == [1, 0]
+
+    def test_call_ret_touch_stack_memory(self):
+        _, _, t = run("main: call fn\nhalt\nfn: ret", trace=True)
+        call_idx = t.kind.index(KIND_CALL)
+        ret_idx = t.kind.index(KIND_RET)
+        assert t.addr[call_idx] == t.addr[ret_idx]  # same stack slot
+
+    def test_trace_length_equals_retired_minus_halt(self):
+        result, _, t = run("nop\nnop\nhalt", trace=True)
+        # halt breaks before recording.
+        assert len(t) == result.instructions - 1

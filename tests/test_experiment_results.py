@@ -1,0 +1,106 @@
+"""Tests for the experiment result containers (rendering and math)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    GapResult,
+    HistoryLengthResult,
+    SelectorResult,
+    SpeedupResult,
+    SuiteComparison,
+)
+from repro.eval.metrics import PredictorMetrics, aggregate_by_suite
+
+
+def _metrics(trace, suite, loads, spec, correct):
+    return PredictorMetrics(
+        name="v", trace=trace, suite=suite, loads=loads,
+        predictions=spec, speculative=spec, correct_speculative=correct,
+        correct_predictions=correct,
+    )
+
+
+class TestSuiteComparison:
+    def _result(self):
+        runs = {
+            "a": [_metrics("t1", "INT", 100, 60, 59)],
+            "b": [_metrics("t1", "INT", 100, 80, 78)],
+        }
+        return SuiteComparison(
+            title="T", variants=["a", "b"],
+            suites={
+                v: aggregate_by_suite(ms, name=v) for v, ms in runs.items()
+            },
+            runs=runs,
+        )
+
+    def test_average(self):
+        result = self._result()
+        assert result.average("a").prediction_rate == pytest.approx(0.6)
+
+    def test_render_contains_all_parts(self):
+        text = self._result().render()
+        assert "T" in text
+        assert "a rate" in text and "b acc" in text
+        assert "INT" in text and "Average" in text
+
+    def test_suite_row_formats_percentages(self):
+        row = self._result().suite_row("INT")
+        assert row[0] == "INT"
+        assert row[1].endswith("%")
+
+
+class TestSpeedupResult:
+    def _result(self):
+        r = SpeedupResult(title="S", variants=["x"])
+        r.per_trace = {"t1": {"x": 1.2}, "t2": {"x": 1.0}}
+        r.suite_of = {"t1": "INT", "t2": "MM"}
+        r.base_cycles = {"t1": 1000, "t2": 3000}
+        return r
+
+    def test_suite_average_cycle_weighted(self):
+        averages = self._result().suite_average("x")
+        # total base = 4000; improved = 1000/1.2 + 3000/1.0 = 3833.33
+        assert averages["Average"] == pytest.approx(4000 / (1000 / 1.2 + 3000))
+        assert averages["INT"] == pytest.approx(1.2)
+
+    def test_render(self):
+        text = self._result().render()
+        assert "t1" in text and "1.200x" in text
+        assert "Average (x)" in text
+
+
+class TestHistoryLengthResult:
+    def test_best_length(self):
+        r = HistoryLengthResult(title="H", lengths=[1, 2, 4])
+        r.series["s"] = [0.4, 0.7, 0.6]
+        assert r.best_length("s") == 2
+
+    def test_render(self):
+        r = HistoryLengthResult(title="H", lengths=[1, 2])
+        r.series["s"] = [0.5, 0.6]
+        text = r.render()
+        assert "50.0%" in text and "60.0%" in text
+
+
+class TestSelectorResult:
+    def test_render_orders_states(self):
+        r = SelectorResult(title="Sel")
+        r.distributions["Average"] = {
+            "strong cap": 0.5, "weak cap": 0.3,
+            "weak stride": 0.1, "strong stride": 0.1,
+        }
+        r.correct_selection["Average"] = 0.999
+        r.dual_share["Average"] = 0.8
+        text = r.render()
+        assert "strong stride" in text
+        assert "99.90%" in text
+
+
+class TestGapResult:
+    def test_render(self):
+        r = GapResult(title="G", gaps=[0, 8])
+        r.series["hybrid"] = {0: (0.7, 0.99, 0.69), 8: (0.6, 0.96, 0.58)}
+        text = r.render()
+        assert "imm rate" in text and "gap 8 acc" in text
+        assert "70.0%" in text

@@ -1,0 +1,160 @@
+"""Tests for the hybrid CAP/stride predictor and its selector."""
+
+import pytest
+
+from repro.predictors import (
+    UPDATE_ALWAYS,
+    UPDATE_UNLESS_STRIDE_CORRECT,
+    UPDATE_UNLESS_STRIDE_SELECTED,
+    HybridConfig,
+    HybridPredictor,
+)
+from repro.predictors.base import lb_key
+
+RDS_BASES = [0x2000_0010, 0x2000_0380, 0x2000_0140, 0x2000_0220]
+
+
+def drive(predictor, sequence):
+    spec = correct = 0
+    for ip, offset, addr in sequence:
+        p = predictor.predict(ip, offset)
+        if p.speculative:
+            spec += 1
+            if p.address == addr:
+                correct += 1
+        predictor.update(ip, offset, addr, p)
+    return spec, correct
+
+
+def rds_seq(ip, offset, reps):
+    return [(ip, offset, b + offset) for _ in range(reps) for b in RDS_BASES]
+
+
+def stride_seq(ip, reps, n=40):
+    return [(ip, 0, 0x3000_0000 + 16 * i) for _ in range(reps) for i in range(n)]
+
+
+class TestComponentCoverage:
+    def test_covers_rds(self):
+        p = HybridPredictor()
+        spec, correct = drive(p, rds_seq(0x100, 8, 60))
+        assert spec > 0.9 * 4 * 60 and correct == spec
+
+    def test_covers_strides(self):
+        p = HybridPredictor()
+        spec, correct = drive(p, stride_seq(0x200, 10))
+        assert spec > 0.8 * 400
+        assert correct >= spec - 1
+
+    def test_covers_interleaved_mix(self):
+        p = HybridPredictor()
+        mixed = []
+        stride_items = stride_seq(0x200, 10)
+        rds_items = rds_seq(0x100, 8, 100)
+        for a, b in zip(stride_items, rds_items):
+            mixed += [a, b]
+        spec, correct = drive(p, mixed)
+        assert spec / len(mixed) > 0.85
+        assert correct / spec > 0.99
+
+
+class TestSelector:
+    def test_selector_learns_cap_for_rds(self):
+        p = HybridPredictor()
+        drive(p, rds_seq(0x100, 8, 80))
+        entry = p.load_buffer.peek(lb_key(0x100))
+        assert entry.selector.favors_high  # CAP side
+
+    def test_selector_initial_bias_is_weak_cap(self):
+        p = HybridPredictor()
+        p.predict(0x100, 0)  # allocates
+        entry = p.load_buffer.peek(lb_key(0x100))
+        assert entry.selector.value == 2
+        assert entry.selector.state_name("stride", "cap") == "weak cap"
+
+    def test_static_selector_stride(self):
+        p = HybridPredictor(HybridConfig(static_selector="stride"))
+        drive(p, rds_seq(0x100, 8, 40))
+        pred = p.predict(0x100, 8)
+        assert pred.source in ("stride", "cap")
+        # With both components confident the static choice must be stride.
+        if pred.info:
+            cap_p = pred.info["cap"]
+            stride_p = pred.info["stride"]
+            if cap_p.speculative and stride_p.speculative:
+                assert pred.source == "stride"
+
+    def test_selector_stats_recorded(self):
+        p = HybridPredictor()
+        drive(p, rds_seq(0x100, 8, 50))
+        stats = p.selector_stats
+        assert stats.states.total > 0
+        assert stats.speculative > 0
+
+    def test_correct_selection_rate_high_on_clean_mix(self):
+        p = HybridPredictor()
+        drive(p, stride_seq(0x200, 8) + rds_seq(0x100, 8, 50))
+        sel = p.selector_stats.selection
+        if sel.total:
+            assert sel.rate > 0.95
+
+
+class TestLTUpdatePolicies:
+    @pytest.mark.parametrize("policy", [
+        UPDATE_ALWAYS, UPDATE_UNLESS_STRIDE_CORRECT,
+        UPDATE_UNLESS_STRIDE_SELECTED,
+    ])
+    def test_policies_run(self, policy):
+        p = HybridPredictor(HybridConfig(lt_update_policy=policy))
+        spec, correct = drive(p, rds_seq(0x100, 8, 40))
+        assert correct == spec
+
+    def test_unless_stride_correct_saves_lt_writes(self):
+        always = HybridPredictor(HybridConfig(lt_update_policy=UPDATE_ALWAYS))
+        drive(always, stride_seq(0x200, 6))
+        selective = HybridPredictor(
+            HybridConfig(lt_update_policy=UPDATE_UNLESS_STRIDE_CORRECT)
+        )
+        drive(selective, stride_seq(0x200, 6))
+        assert (
+            selective.cap.link_table.link_writes
+            < always.cap.link_table.link_writes
+        )
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            HybridConfig(lt_update_policy="sometimes")
+
+    def test_bad_selector_rejected(self):
+        with pytest.raises(ValueError):
+            HybridConfig(static_selector="neither")
+
+
+class TestSharedLoadBuffer:
+    def test_one_entry_per_static_load(self):
+        p = HybridPredictor()
+        drive(p, rds_seq(0x100, 8, 5) + stride_seq(0x200, 2))
+        assert p.load_buffer.occupancy() == 2
+
+    def test_lb_geometry_from_hybrid_config(self):
+        p = HybridPredictor(HybridConfig(lb_entries=64, lb_ways=4))
+        assert p.load_buffer.entries == 64
+        assert p.load_buffer.ways == 4
+
+    def test_reset(self):
+        p = HybridPredictor()
+        drive(p, rds_seq(0x100, 8, 20))
+        p.reset()
+        assert p.load_buffer.occupancy() == 0
+        assert p.selector_stats.states.total == 0
+
+
+class TestSpeculativeMode:
+    def test_gap_zero_equivalence(self):
+        seq = rds_seq(0x100, 8, 40) + stride_seq(0x200, 5)
+        plain = HybridPredictor()
+        r1 = drive(plain, seq)
+        spec = HybridPredictor()
+        spec.speculative_mode = True
+        r2 = drive(spec, seq)
+        assert r1 == r2

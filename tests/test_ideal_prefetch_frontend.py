@@ -1,0 +1,192 @@
+"""Tests for the ideal context predictor, the stride prefetcher, and the
+front-end fetch-group analysis."""
+
+import pytest
+
+from repro.analysis import analyze_fetch_groups
+from repro.eval.runner import run_predictor
+from repro.predictors import (
+    CAPPredictor,
+    IdealContextConfig,
+    IdealContextPredictor,
+)
+from repro.timing import (
+    CacheHierarchy,
+    PrefetchConfig,
+    StridePrefetcher,
+    simulate,
+    speedup,
+)
+from repro.trace.trace import Trace
+from repro.workloads import ArraySumWorkload, LinkedListWorkload, trace_workload
+
+
+class TestIdealContextPredictor:
+    def test_learns_ring_perfectly(self):
+        bases = [0x2010, 0x2380, 0x2140, 0x2220]
+        p = IdealContextPredictor()
+        correct = total = 0
+        for rep in range(20):
+            for b in bases:
+                pred = p.predict(0x100, 8)
+                if rep >= 3:
+                    total += 1
+                    correct += pred.address == b + 8
+                p.update(0x100, 8, b + 8, pred)
+        assert correct == total
+
+    def test_order_matters(self):
+        """An a-a-b sequence is ambiguous at order 1, exact at order 2."""
+        seq = [0x1000, 0x1000, 0x2000]
+
+        def run(order):
+            p = IdealContextPredictor(IdealContextConfig(order=order))
+            correct = total = 0
+            for rep in range(30):
+                for addr in seq:
+                    pred = p.predict(0x100, 0)
+                    if rep >= 10:
+                        total += 1
+                        correct += pred.address == addr
+                    p.update(0x100, 0, addr, pred)
+            return correct / total
+
+        assert run(2) > run(1)
+
+    def test_upper_bounds_cap(self):
+        """The unbounded model must beat the finite CAP on any trace."""
+        trace = trace_workload(
+            LinkedListWorkload(seed=7), max_instructions=30_000,
+        )
+        stream = trace.predictor_stream()
+        ideal = run_predictor(IdealContextPredictor(), stream)
+        cap = run_predictor(CAPPredictor(), stream)
+        assert ideal.correct_rate >= cap.correct_rate - 0.02
+
+    def test_shared_scope(self):
+        """Shared contexts cross-train loads, like global correlation."""
+        bases = [0x3000, 0x3200, 0x3100]
+        p = IdealContextPredictor(IdealContextConfig(order=2, shared=True))
+        for rep in range(10):
+            for b in bases:
+                pred = p.predict(0x100, 0)
+                p.update(0x100, 0, b, pred)
+        # A different static load walking the same values predicts from
+        # the shared links after its own history warms (order=2 misses).
+        hits = 0
+        for rep in range(3):
+            for b in bases:
+                pred = p.predict(0x200, 0)
+                hits += pred.address == b
+                p.update(0x200, 0, b, pred)
+        assert hits > 3
+
+    def test_table_grows_unbounded(self):
+        import random
+
+        rng = random.Random(3)
+        p = IdealContextPredictor()
+        for i in range(500):
+            pred = p.predict(0x100, 0)
+            p.update(0x100, 0, rng.randrange(2**20) * 4, pred)
+        assert p.table_size > 400
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IdealContextConfig(order=0)
+
+
+class TestStridePrefetcher:
+    def test_prefetches_warm_the_cache(self):
+        caches = CacheHierarchy()
+        pf = StridePrefetcher()
+        # Walk a stride; after training, the next line should be resident
+        # before the demand access touches it.
+        for i in range(64):
+            addr = 0x10000 + 64 * i
+            caches.access(addr)
+            pf.observe(0x100, addr, caches)
+        assert pf.issued > 0
+        # The line one stride ahead is already cached.
+        assert caches.l1.access(0x10000 + 64 * 64)
+
+    def test_no_prefetch_without_confidence(self):
+        import random
+
+        rng = random.Random(9)
+        caches = CacheHierarchy()
+        pf = StridePrefetcher()
+        for _ in range(200):
+            pf.observe(0x100, rng.randrange(2**24) * 4, caches)
+        assert pf.issued < 10
+
+    def test_degree(self):
+        caches = CacheHierarchy()
+        deep = StridePrefetcher(PrefetchConfig(degree=4))
+        for i in range(32):
+            deep.observe(0x100, 0x20000 + 64 * i, caches)
+        shallow_issued = StridePrefetcher(PrefetchConfig(degree=1))
+        caches2 = CacheHierarchy()
+        for i in range(32):
+            shallow_issued.observe(0x100, 0x20000 + 64 * i, caches2)
+        assert deep.issued > shallow_issued.issued
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(degree=0)
+
+    def test_speeds_up_memory_bound_scan(self):
+        trace = trace_workload(
+            ArraySumWorkload(seed=3, elements=8192), max_instructions=30_000,
+        )
+        base = simulate(trace)
+        prefetched = simulate(trace, prefetcher=StridePrefetcher())
+        assert speedup(base, prefetched) > 1.1
+
+
+class TestFetchGroupAnalysis:
+    def _trace(self, kinds_ips):
+        t = Trace("fg")
+        for kind, ip in kinds_ips:
+            t.append(kind, ip, addr=0x2000)
+        return t
+
+    def test_counts_groups(self):
+        t = self._trace([(0, 0x100)] * 17)
+        stats = analyze_fetch_groups(t, width=8)
+        assert stats.groups == 3
+
+    def test_multi_load_detection(self):
+        t = self._trace([(1, 0x100), (1, 0x104), (0, 0x108), (0, 0x10C)])
+        stats = analyze_fetch_groups(t, width=4)
+        assert stats.groups_with_multiple_loads == 1
+        assert stats.max_loads_in_group == 2
+
+    def test_repeated_static_load(self):
+        t = self._trace([(1, 0x100), (0, 0x104), (1, 0x100), (0, 0x108)])
+        stats = analyze_fetch_groups(t, width=4)
+        assert stats.groups_with_repeated_static_load == 1
+
+    def test_no_repeat_across_groups(self):
+        t = self._trace([(1, 0x100), (0, 0x104), (0, 0x104), (0, 0x104),
+                         (1, 0x100)])
+        stats = analyze_fetch_groups(t, width=4)
+        assert stats.groups_with_repeated_static_load == 0
+
+    def test_tight_loop_shows_pressure(self):
+        """The paper's extreme case arises naturally in tight loops."""
+        trace = trace_workload(
+            LinkedListWorkload(seed=3, via_global_ptr=False),
+            max_instructions=10_000,
+        )
+        stats = analyze_fetch_groups(trace, width=8)
+        assert stats.multi_load_fraction > 0.5
+        assert stats.repeated_static_fraction > 0.0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            analyze_fetch_groups(Trace("x"), width=0)
+
+    def test_render(self):
+        t = self._trace([(1, 0x100)] * 8)
+        assert "Fetch-group analysis" in analyze_fetch_groups(t).render()

@@ -1,0 +1,161 @@
+"""Tests for instructions, the program builder and label resolution."""
+
+import pytest
+
+from repro.isa.instructions import SP, Instruction, Op
+from repro.isa.program import Program, ProgramBuilder, UnresolvedLabelError
+
+
+class TestInstructionClassification:
+    def test_loads(self):
+        assert Instruction(Op.LD, rd=1, rs1=2).is_load
+        assert Instruction(Op.POP, rd=1).is_load
+        assert Instruction(Op.RET).is_load
+
+    def test_stores(self):
+        assert Instruction(Op.ST, rs1=1, rs2=2).is_store
+        assert Instruction(Op.PUSH, rs2=1).is_store
+        assert Instruction(Op.CALL, target=0).is_store
+
+    def test_branches(self):
+        assert Instruction(Op.BEQ, rs1=0, rs2=1, target=0).is_branch
+        assert not Instruction(Op.JMP, target=0).is_branch
+        assert Instruction(Op.JMP, target=0).is_control
+
+    def test_alu_is_nothing_special(self):
+        instr = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert not (instr.is_load or instr.is_store or instr.is_control)
+
+
+class TestInstructionDataflow:
+    def test_three_operand_sources(self):
+        assert Instruction(Op.ADD, rd=1, rs1=2, rs2=3).sources() == (2, 3)
+
+    def test_load_sources_and_dest(self):
+        instr = Instruction(Op.LD, rd=4, rs1=5, imm=8)
+        assert instr.sources() == (5,)
+        assert instr.destination() == 4
+
+    def test_store_sources_no_dest(self):
+        instr = Instruction(Op.ST, rs1=1, rs2=2, imm=0)
+        assert set(instr.sources()) == {1, 2}
+        assert instr.destination() is None
+
+    def test_push_reads_sp(self):
+        assert SP in Instruction(Op.PUSH, rs2=3).sources()
+
+    def test_li_has_no_sources(self):
+        assert Instruction(Op.LI, rd=1, imm=5).sources() == ()
+
+    def test_branch_has_no_dest(self):
+        assert Instruction(Op.BNE, rs1=1, rs2=2, target=0).destination() is None
+
+
+class TestInstructionValidation:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=16, rs1=0, rs2=0)
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=0, rs1=-1, rs2=0)
+
+    def test_str_formats(self):
+        assert str(Instruction(Op.LD, rd=1, rs1=2, imm=8)) == "ld r1, 8(r2)"
+        assert str(Instruction(Op.LI, rd=3, imm=-5)) == "li r3, -5"
+        assert str(Instruction(Op.RET)) == "ret"
+
+
+class TestProgramBuilder:
+    def test_simple_build(self):
+        b = ProgramBuilder("t")
+        b.label("main").li(1, 5).halt()
+        program = b.build()
+        assert len(program) == 2
+        assert program.entry() == 0
+
+    def test_forward_reference(self):
+        b = ProgramBuilder()
+        b.jmp("end").nop().label("end").halt()
+        program = b.build()
+        assert program.instructions[0].target == 2
+
+    def test_backward_reference(self):
+        b = ProgramBuilder()
+        b.label("top").nop().jmp("top")
+        program = b.build()
+        assert program.instructions[1].target == 0
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(UnresolvedLabelError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x").nop()
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_fluent_chaining(self):
+        program = (
+            ProgramBuilder()
+            .li(1, 1)
+            .addi(1, 1, 2)
+            .halt()
+            .build()
+        )
+        assert len(program) == 3
+
+    def test_all_emitters_produce_valid_instructions(self):
+        b = ProgramBuilder()
+        b.label("l")
+        b.li(1, 5).mov(2, 1).add(3, 1, 2).sub(3, 1, 2).mul(3, 1, 2)
+        b.div(3, 1, 2).mod(3, 1, 2).and_(3, 1, 2).or_(3, 1, 2)
+        b.xor(3, 1, 2).shl(3, 1, 2).shr(3, 1, 2)
+        b.addi(3, 1, 4).muli(3, 1, 4).andi(3, 1, 4)
+        b.ld(4, 5, 8).st(4, 5, 8)
+        b.beq(1, 2, "l").bne(1, 2, "l").blt(1, 2, "l").bge(1, 2, "l")
+        b.jmp("l").call("l").ret().jr(1).push(1).pop(2).nop().halt()
+        program = b.build()
+        assert len(program) == 29
+
+
+class TestProgram:
+    def test_ip_mapping_roundtrip(self):
+        program = ProgramBuilder().nop().nop().halt().build()
+        for index in range(3):
+            assert program.index_of_ip(program.ip_of(index)) == index
+
+    def test_bad_ip_rejected(self):
+        program = ProgramBuilder().halt().build()
+        with pytest.raises(ValueError):
+            program.index_of_ip(program.code_base + 1)
+        with pytest.raises(ValueError):
+            program.index_of_ip(program.code_base + 400)
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(ValueError):
+            Program([Instruction(Op.JMP, target=5)])
+
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(UnresolvedLabelError):
+            Program([Instruction(Op.JMP, target="oops")])
+
+    def test_entry_by_label(self):
+        b = ProgramBuilder()
+        b.nop().label("start").halt()
+        program = b.build()
+        assert program.entry("start") == 1
+        with pytest.raises(KeyError):
+            program.entry("missing")
+
+    def test_entry_default_main_falls_back_to_zero(self):
+        program = ProgramBuilder().halt().build()
+        assert program.entry() == 0
+
+    def test_listing_contains_labels_and_mnemonics(self):
+        b = ProgramBuilder()
+        b.label("main").li(1, 7).halt()
+        text = b.build().listing()
+        assert "main:" in text
+        assert "li r1, 7" in text

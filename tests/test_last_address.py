@@ -1,0 +1,70 @@
+"""Tests for the last-address predictor."""
+
+from repro.predictors import LastAddressConfig, LastAddressPredictor
+
+
+def drive(predictor, ip, addresses, offset=0):
+    """Feed a sequence; return (speculative, correct) counts."""
+    spec = correct = 0
+    for addr in addresses:
+        p = predictor.predict(ip, offset)
+        if p.speculative:
+            spec += 1
+            if p.address == addr:
+                correct += 1
+        predictor.update(ip, offset, addr, p)
+    return spec, correct
+
+
+class TestLastAddress:
+    def test_first_encounter_no_prediction(self):
+        p = LastAddressPredictor()
+        assert not p.predict(0x100, 0).made
+
+    def test_learns_constant(self):
+        p = LastAddressPredictor()
+        spec, correct = drive(p, 0x100, [0x2000] * 10)
+        # Threshold 2: speculation starts on the 4th instance.
+        assert spec == 7
+        assert correct == 7
+
+    def test_never_speculates_on_changing_addresses(self):
+        p = LastAddressPredictor()
+        spec, _ = drive(p, 0x100, [0x2000 + 4 * i for i in range(20)])
+        assert spec == 0
+
+    def test_confidence_resets_on_change(self):
+        p = LastAddressPredictor()
+        drive(p, 0x100, [0x2000] * 5)
+        drive(p, 0x100, [0x3000])          # change resets confidence
+        pred = p.predict(0x100, 0)
+        assert pred.address == 0x3000
+        assert not pred.speculative
+
+    def test_independent_static_loads(self):
+        p = LastAddressPredictor()
+        drive(p, 0x100, [0x2000] * 5)
+        drive(p, 0x200, [0x3000] * 5)
+        assert p.predict(0x100, 0).address == 0x2000
+        assert p.predict(0x200, 0).address == 0x3000
+
+    def test_threshold_configurable(self):
+        p = LastAddressPredictor(LastAddressConfig(confidence_threshold=3))
+        spec, _ = drive(p, 0x100, [0x2000] * 6)
+        assert spec == 2  # speculation starts at the 5th instance
+
+    def test_reset_clears_state(self):
+        p = LastAddressPredictor()
+        drive(p, 0x100, [0x2000] * 5)
+        p.reset()
+        assert not p.predict(0x100, 0).made
+
+    def test_table_contention_evicts(self):
+        p = LastAddressPredictor(LastAddressConfig(entries=4, ways=1))
+        for ip in range(0x100, 0x100 + 4 * 64, 4):
+            drive(p, ip, [0x2000] * 1)
+        # With only 4 slots, early IPs are long gone.
+        assert not p.predict(0x100, 0).made
+
+    def test_name(self):
+        assert LastAddressPredictor().name == "last-address"

@@ -1,0 +1,134 @@
+"""Tests for the memory model and heap allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.memory import AddressSpace, HeapAllocator, Memory
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(0x1000) == 0
+
+    def test_store_load(self):
+        m = Memory()
+        m.store(0x1000, 42)
+        assert m.load(0x1000) == 42
+
+    def test_counters(self):
+        m = Memory()
+        m.store(4, 1)
+        m.load(4)
+        m.load(8)
+        assert m.writes == 1 and m.reads == 2
+
+    def test_poke_peek_dont_count(self):
+        m = Memory()
+        m.poke(4, 7)
+        assert m.peek(4) == 7
+        assert m.reads == 0 and m.writes == 0
+
+    def test_poke_words(self):
+        m = Memory()
+        m.poke_words(100, [1, 2, 3])
+        assert [m.peek(100 + 4 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_negative_address_rejected(self):
+        m = Memory()
+        with pytest.raises(ValueError):
+            m.load(-4)
+        with pytest.raises(ValueError):
+            m.store(-4, 0)
+
+    def test_footprint(self):
+        m = Memory()
+        m.poke(0, 1)
+        m.poke(4, 2)
+        m.poke(0, 3)
+        assert m.footprint() == 2
+
+    @given(st.dictionaries(st.integers(0, 10000), st.integers(), max_size=50))
+    def test_acts_like_dict(self, writes):
+        m = Memory()
+        for addr, value in writes.items():
+            m.store(addr, value)
+        for addr, value in writes.items():
+            assert m.load(addr) == value
+
+
+class TestHeapAllocator:
+    def test_sequential_is_contiguous(self):
+        a = HeapAllocator(policy="sequential", align=8)
+        first = a.alloc(16)
+        second = a.alloc(16)
+        assert second == first + 16
+
+    def test_shuffled_decorrelates_order(self):
+        a = HeapAllocator(policy="shuffled", seed=3)
+        addrs = [a.alloc(16) for _ in range(32)]
+        deltas = {addrs[i + 1] - addrs[i] for i in range(len(addrs) - 1)}
+        assert len(deltas) > 1  # not a pure stride
+
+    def test_shuffled_blocks_disjoint(self):
+        a = HeapAllocator(policy="shuffled", seed=7)
+        spans = sorted((a.alloc(24), 24) for _ in range(100))
+        for (lo, size), (nxt, _) in zip(spans, spans[1:]):
+            assert lo + size <= nxt
+
+    def test_alignment(self):
+        a = HeapAllocator(policy="shuffled", align=16)
+        for _ in range(20):
+            assert a.alloc(10) % 16 == 0
+
+    def test_deterministic_for_seed(self):
+        seq1 = [HeapAllocator(seed=5).alloc(16) for _ in range(1)]
+        a1 = HeapAllocator(seed=5)
+        a2 = HeapAllocator(seed=5)
+        assert [a1.alloc(16) for _ in range(50)] == [
+            a2.alloc(16) for _ in range(50)
+        ]
+        del seq1
+
+    def test_different_seeds_differ(self):
+        a1 = HeapAllocator(seed=1)
+        a2 = HeapAllocator(seed=2)
+        assert [a1.alloc(16) for _ in range(20)] != [
+            a2.alloc(16) for _ in range(20)
+        ]
+
+    def test_arrays_always_contiguous(self):
+        a = HeapAllocator(policy="shuffled")
+        base = a.alloc_array(100, 4)
+        assert base >= AddressSpace.HEAP_BASE
+
+    def test_spread_stays_in_heap(self):
+        a = HeapAllocator(policy="spread", seed=9)
+        for _ in range(50):
+            addr = a.alloc(32)
+            assert AddressSpace.HEAP_BASE <= addr < AddressSpace.HEAP_LIMIT
+
+    def test_exhaustion(self):
+        a = HeapAllocator(
+            policy="sequential", base=0x1000, limit=0x1100, align=8,
+        )
+        with pytest.raises(MemoryError):
+            for _ in range(100):
+                a.alloc(64)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HeapAllocator(policy="bogus")
+        with pytest.raises(ValueError):
+            HeapAllocator(align=3)
+        with pytest.raises(ValueError):
+            HeapAllocator().alloc(0)
+        with pytest.raises(ValueError):
+            HeapAllocator().alloc_array(0, 4)
+
+    def test_bookkeeping(self):
+        a = HeapAllocator(align=8)
+        a.alloc(10)
+        a.alloc_array(4, 4)
+        assert len(a.allocations) == 2
+        assert a.bytes_in_use() == 16 + 16  # both rounded to align

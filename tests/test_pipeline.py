@@ -1,0 +1,180 @@
+"""Tests for the pipelined predictor model (Section 5)."""
+
+import pytest
+
+from repro.pipeline import BranchPredictor, BranchPredictorConfig, PipelinedPredictor
+from repro.predictors import CAPPredictor, HybridPredictor, StridePredictor
+
+
+def drive(predictor, sequence):
+    spec = correct = 0
+    for ip, offset, addr in sequence:
+        p = predictor.predict(ip, offset)
+        if p.speculative:
+            spec += 1
+            if p.address == addr:
+                correct += 1
+        predictor.update(ip, offset, addr, p)
+    return spec, correct
+
+
+def stride_seq(n, base=0x2000):
+    return [(0x100, 0, base + 16 * i) for i in range(n)]
+
+
+class TestBranchPredictor:
+    def test_learns_a_loop(self):
+        bp = BranchPredictor()
+        # 15 taken, 1 not-taken, repeated: accuracy should become high.
+        for _ in range(40):
+            for i in range(16):
+                bp.update(0x500, i != 15)
+        assert bp.accuracy > 0.85
+
+    def test_alternating_with_history(self):
+        bp = BranchPredictor()
+        for _ in range(300):
+            bp.update(0x500, True)
+            bp.update(0x500, False)
+        # g-share history disambiguates the alternation.
+        assert bp.accuracy > 0.8
+
+    def test_mispredictions_counted(self):
+        bp = BranchPredictor()
+        bp.update(0x500, False)  # initial weakly-taken: wrong
+        assert bp.mispredictions >= 1
+
+    def test_reset(self):
+        bp = BranchPredictor()
+        bp.update(0x500, True)
+        bp.reset()
+        assert bp.lookups == 0 and bp.history == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(entries=100)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(counter_bits=0)
+
+
+class TestPipelinedPredictor:
+    def test_gap_zero_is_immediate(self):
+        seq = stride_seq(100)
+        direct = StridePredictor()
+        r1 = drive(direct, seq)
+        wrapped = PipelinedPredictor(StridePredictor(), 0)
+        r2 = drive(wrapped, seq)
+        assert r1 == r2
+
+    def test_updates_delayed_by_gap(self):
+        inner = StridePredictor()
+        p = PipelinedPredictor(inner, 4)
+        for i in range(4):
+            pred = p.predict(0x100, 0)
+            p.update(0x100, 0, 0x2000 + 16 * i, pred)
+        # Nothing applied yet: the inner predictor saw no update.
+        from repro.predictors.base import lb_key
+
+        state = inner.table.peek(lb_key(0x100))
+        assert state.last_addr is None
+        assert p.pending_updates == 4
+
+    def test_flush_applies_everything(self):
+        inner = StridePredictor()
+        p = PipelinedPredictor(inner, 8)
+        for i in range(5):
+            pred = p.predict(0x100, 0)
+            p.update(0x100, 0, 0x2000 + 16 * i, pred)
+        p.flush()
+        assert p.pending_updates == 0
+        from repro.predictors.base import lb_key
+
+        assert inner.table.peek(lb_key(0x100)).last_addr == 0x2000 + 16 * 4
+
+    def test_stride_survives_gap(self):
+        """Catch-up + speculative last address keep arrays predictable."""
+        p = PipelinedPredictor(StridePredictor(), 6)
+        spec, correct = drive(p, stride_seq(300))
+        assert spec > 250
+        assert correct > 0.98 * spec
+
+    def test_cap_survives_gap_with_branch_drains(self):
+        """A pointer loop stays predictable when branch flushes drain it."""
+        bases = [0x2000_0010, 0x2000_0380, 0x2000_0140, 0x2000_0220]
+        p = PipelinedPredictor(CAPPredictor(), 4)
+        spec = correct = 0
+        for rep in range(200):
+            for i, b in enumerate(bases):
+                pred = p.predict(0x100, 8)
+                if pred.speculative:
+                    spec += 1
+                    correct += pred.address == b + 8
+                p.update(0x100, 8, b + 8, pred)
+                # Loop-exit branch: mispredicted once per traversal at
+                # first, modelling the paper's "dynamic events".
+                p.on_branch(0x200, taken=(i != len(bases) - 1))
+        assert spec > 400
+        assert correct > 0.95 * spec
+
+    def test_without_branch_flush_tight_loop_starves(self):
+        """The pathological case: no drain events, chain never resyncs.
+
+        The ring period (6) must not divide gap+1, otherwise the constant
+        phase lead of the speculative chain lands on the right address by
+        coincidence.
+        """
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 9, 4, 12, 6, 2)]
+        p = PipelinedPredictor(CAPPredictor(), 4, branch_flush=False)
+        spec = 0
+        for rep in range(150):
+            for b in bases:
+                pred = p.predict(0x100, 8)
+                spec += pred.speculative
+                p.update(0x100, 8, b + 8, pred)
+        assert spec < 50
+
+    def test_rate_degrades_with_gap(self):
+        """Figure 11's qualitative claim: accuracy drops as the gap grows."""
+        bases = [0x2000_0000 + 0x40 * k for k in (1, 9, 4, 12, 6, 2)]
+        results = {}
+        for gap in (0, 8):
+            p = PipelinedPredictor(HybridPredictor(), gap)
+            spec = correct = 0
+            for rep in range(150):
+                for i, b in enumerate(bases):
+                    pred = p.predict(0x100, 4)
+                    if pred.speculative:
+                        spec += 1
+                        correct += pred.address == b + 4
+                    p.update(0x100, 4, b + 4, pred)
+                p.on_branch(0x200, rep % 7 != 0)
+            results[gap] = (spec, correct)
+        assert results[8][0] <= results[0][0]
+
+    def test_requires_speculative_mode_support(self):
+        from repro.predictors import LastAddressPredictor
+
+        with pytest.raises(TypeError):
+            PipelinedPredictor(LastAddressPredictor(), 4)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedPredictor(StridePredictor(), -1)
+
+    def test_ghr_shared_with_inner(self):
+        inner = HybridPredictor()
+        p = PipelinedPredictor(inner, 4)
+        p.on_branch(0x500, True)
+        p.on_branch(0x500, False)
+        assert inner.ghr == 0b10
+        assert p.ghr == 0b10
+
+    def test_reset(self):
+        p = PipelinedPredictor(StridePredictor(), 4)
+        pred = p.predict(0x100, 0)
+        p.update(0x100, 0, 0x2000, pred)
+        p.reset()
+        assert p.pending_updates == 0
+
+    def test_name_carries_gap(self):
+        assert "gap4" in PipelinedPredictor(StridePredictor(), 4).name

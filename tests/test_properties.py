@@ -1,0 +1,138 @@
+"""Cross-cutting property-based tests: predictors must be total functions
+over arbitrary load streams, and core invariants must hold throughout."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import PredictorMetrics
+from repro.eval.runner import run_predictor
+from repro.pipeline import PipelinedPredictor
+from repro.predictors import (
+    CAPPredictor,
+    GShareAddressPredictor,
+    HybridPredictor,
+    LastAddressPredictor,
+    StridePredictor,
+)
+
+# A random predictor stream: loads from few IPs over a modest address pool
+# (so patterns sometimes emerge), interleaved with branches.
+stream_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just(1),
+            st.sampled_from([0x100, 0x104, 0x108, 0x10C]),
+            st.integers(0, 2**20).map(lambda x: x * 4),
+            st.sampled_from([0, 4, 8, 0xFC]),
+        ),
+        st.tuples(
+            st.just(0),
+            st.sampled_from([0x200, 0x204]),
+            st.integers(0, 1),
+            st.just(0),
+        ),
+        st.tuples(st.just(2), st.sampled_from([0x300, 0x304]), st.just(0),
+                  st.just(0)),
+        st.tuples(st.just(3), st.just(0x400), st.just(0), st.just(0)),
+    ),
+    max_size=300,
+)
+
+PREDICTOR_FACTORIES = [
+    LastAddressPredictor,
+    StridePredictor,
+    CAPPredictor,
+    HybridPredictor,
+    GShareAddressPredictor,
+    lambda: PipelinedPredictor(HybridPredictor(), 4),
+    lambda: PipelinedPredictor(StridePredictor(), 12),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=stream_strategy)
+def test_predictors_total_and_metrics_sane(stream):
+    """No predictor may crash, and metric invariants must hold."""
+    for factory in PREDICTOR_FACTORIES:
+        metrics = run_predictor(factory(), stream)
+        assert 0 <= metrics.correct_speculative <= metrics.speculative
+        assert metrics.speculative <= metrics.loads
+        assert metrics.predictions <= metrics.loads
+        assert metrics.correct_predictions <= metrics.predictions
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=stream_strategy)
+def test_determinism(stream):
+    """Two identical runs produce identical metrics."""
+    for factory in (CAPPredictor, HybridPredictor):
+        m1 = run_predictor(factory(), stream)
+        m2 = run_predictor(factory(), stream)
+        assert (m1.speculative, m1.correct_speculative, m1.predictions) == (
+            m2.speculative, m2.correct_speculative, m2.predictions,
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=stream_strategy)
+def test_pipelined_gap_zero_equals_immediate(stream):
+    """A prediction gap of zero must be a strict no-op wrapper."""
+    direct = run_predictor(HybridPredictor(), stream)
+    wrapped = run_predictor(PipelinedPredictor(HybridPredictor(), 0), stream)
+    assert direct.speculative == wrapped.speculative
+    assert direct.correct_speculative == wrapped.correct_speculative
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bases=st.lists(
+        st.integers(0, 2**16).map(lambda x: 0x2000_0000 + x * 16),
+        min_size=2, max_size=8, unique=True,
+    ),
+    reps=st.integers(min_value=20, max_value=40),
+)
+def test_cap_safe_on_any_short_ring(bases, reps):
+    """On *any* short recurring sequence CAP either learns it or refuses
+    to speculate.  (It cannot promise to learn every ring: two contexts
+    may collide on one direct-mapped LT slot with different tags, and the
+    PF filter then parks the slot — the paper's own pathology.)  What it
+    must never do is speculate wrongly at scale."""
+    p = CAPPredictor()
+    spec = correct = 0
+    for rep in range(reps):
+        for base in bases:
+            pred = p.predict(0x100, 8)
+            if rep >= reps // 2 and pred.speculative:
+                spec += 1
+                correct += pred.address == base + 8
+            p.update(0x100, 8, base + 8, pred)
+    if spec:
+        assert correct / spec > 0.9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    start=st.integers(0, 2**20).map(lambda x: x * 4),
+    stride=st.integers(-256, 256).map(lambda x: x * 4),
+    n=st.integers(min_value=20, max_value=60),
+)
+def test_stride_learns_any_arithmetic_sequence(start, stride, n):
+    p = StridePredictor()
+    correct = total = 0
+    for i in range(n):
+        addr = (start + stride * i) & 0xFFFFFFFF
+        pred = p.predict(0x100, 0)
+        if i >= 8:
+            total += 1
+            correct += pred.address == addr
+        p.update(0x100, 0, addr, pred)
+    assert correct == total
+
+
+@settings(max_examples=10, deadline=None)
+@given(stream=stream_strategy)
+def test_metrics_record_totals(stream):
+    loads = sum(1 for item in stream if item[0] == 1)
+    metrics = run_predictor(HybridPredictor(), stream)
+    assert metrics.loads == loads
+    assert isinstance(metrics, PredictorMetrics)

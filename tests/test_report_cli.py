@@ -1,0 +1,125 @@
+"""Tests for the text report helpers and the CLI."""
+
+import pytest
+
+from repro.eval.cli import EXPERIMENTS, build_parser, main
+from repro.eval.report import format_percent, format_speedup, format_table
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(0.98765, digits=2) == "98.77%"
+        assert format_percent(0.0) == "0.0%"
+        assert format_percent(1.0) == "100.0%"
+
+    def test_speedup(self):
+        assert format_speedup(1.21) == "1.210x"
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].startswith("a")
+
+    def test_column_alignment(self):
+        text = format_table(["k", "v"], [["row", 5], ["longer_row", 123]])
+        lines = text.splitlines()
+        # All data lines are equally wide (right-aligned numbers).
+        assert len(lines[2]) == len(lines[3]) or lines[2].rstrip()
+
+    def test_first_column_left_aligned(self):
+        text = format_table(["k", "v"], [["a", 1]])
+        data = text.splitlines()[-1]
+        assert data.startswith("a")
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_extra_columns_tolerated(self):
+        text = format_table(["a"], [["x", "extra"]])
+        assert "extra" in text
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "INT_xli" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_small_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main([
+            "run", "baselines", "--traces", "INT_xli",
+            "--instructions", "5000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "last" in out and "Average" in out
+
+    def test_summarize(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        assert main(["summarize", "INT_xli", "--instructions", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "INT_xli" in out and "loads" in out
+
+    def test_every_registered_experiment_is_callable(self):
+        for name, (driver, description) in EXPERIMENTS.items():
+            assert callable(driver), name
+            assert description
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAnalyzeAndSweepCommands:
+    def test_analyze_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main([
+            "analyze", "INT_cmp", "--instructions", "6000", "--top", "3",
+            "--fingerprints", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Load-pattern analysis" in out
+        assert "context" in out or "constant" in out
+
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        assert "cap.history_length" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main([
+            "sweep", "cap.history_length", "1", "4",
+            "--traces", "INT_xli", "--instructions", "5000",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity sweep" in out
+        assert "best by correct rate" in out
+
+    def test_sweep_usage_error(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_run_chart_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main([
+            "run", "baselines", "--traces", "INT_xli",
+            "--instructions", "5000", "--chart",
+        ])
+        assert code == 0
+        assert "|" in capsys.readouterr().out  # bars, not just a table

@@ -1,0 +1,135 @@
+"""Tests for saturating and up/down counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.sat_counter import SaturatingCounter, UpDownCounter
+
+
+class TestSaturatingCounter:
+    def test_starts_unconfident(self):
+        assert not SaturatingCounter(threshold=2).confident
+
+    def test_confident_at_threshold(self):
+        c = SaturatingCounter(threshold=2)
+        c.update(True)
+        assert not c.confident
+        c.update(True)
+        assert c.confident
+
+    def test_reset_on_incorrect(self):
+        c = SaturatingCounter(threshold=2)
+        c.update(True)
+        c.update(True)
+        c.update(False)
+        assert c.value == 0
+        assert not c.confident
+
+    def test_hysteresis_decrements(self):
+        c = SaturatingCounter(threshold=2, maximum=3, hysteresis=True)
+        for _ in range(3):
+            c.update(True)
+        c.update(False)
+        assert c.value == 2
+        assert c.confident  # survives one miss
+
+    def test_saturates_at_maximum(self):
+        c = SaturatingCounter(threshold=2, maximum=3)
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3
+
+    def test_default_maximum_is_threshold(self):
+        c = SaturatingCounter(threshold=3)
+        for _ in range(10):
+            c.update(True)
+        assert c.value == 3
+
+    def test_hysteresis_floor_at_zero(self):
+        c = SaturatingCounter(threshold=2, hysteresis=True)
+        c.update(False)
+        assert c.value == 0
+
+    def test_snapshot_restore(self):
+        c = SaturatingCounter(threshold=2)
+        c.update(True)
+        saved = c.snapshot()
+        c.update(True)
+        c.restore(saved)
+        assert c.value == 1
+
+    def test_restore_validates(self):
+        c = SaturatingCounter(threshold=2)
+        with pytest.raises(ValueError):
+            c.restore(99)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(threshold=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(threshold=3, maximum=2)
+        with pytest.raises(ValueError):
+            SaturatingCounter(threshold=2, initial=5)
+
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_value_stays_in_range(self, outcomes):
+        c = SaturatingCounter(threshold=2, maximum=3, hysteresis=True)
+        for outcome in outcomes:
+            c.update(outcome)
+            assert 0 <= c.value <= 3
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_non_hysteresis_value_counts_run(self, outcomes):
+        # Without hysteresis, value == min(max, length of trailing True run).
+        c = SaturatingCounter(threshold=2, maximum=5)
+        run = 0
+        for outcome in outcomes:
+            c.update(outcome)
+            run = run + 1 if outcome else 0
+            assert c.value == min(5, run)
+
+
+class TestUpDownCounter:
+    def test_initial_state(self):
+        c = UpDownCounter(width=2, initial=2)
+        assert c.favors_high
+
+    def test_saturation(self):
+        c = UpDownCounter(width=2, initial=3)
+        c.up()
+        assert c.value == 3
+        c2 = UpDownCounter(width=2, initial=0)
+        c2.down()
+        assert c2.value == 0
+
+    def test_crossing_midpoint(self):
+        c = UpDownCounter(width=2, initial=1)
+        assert not c.favors_high
+        c.up()
+        assert c.favors_high
+        c.down()
+        assert not c.favors_high
+
+    def test_state_names(self):
+        names = []
+        c = UpDownCounter(width=2, initial=0)
+        for _ in range(4):
+            names.append(c.state_name("stride", "cap"))
+            c.up()
+        assert names == [
+            "strong stride", "weak stride", "weak cap", "strong cap",
+        ]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UpDownCounter(width=0)
+        with pytest.raises(ValueError):
+            UpDownCounter(width=2, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=200), st.integers(1, 4))
+    def test_bounded(self, moves, width):
+        c = UpDownCounter(width=width)
+        for up in moves:
+            c.up() if up else c.down()
+            assert 0 <= c.value <= (1 << width) - 1

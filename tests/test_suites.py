@@ -1,0 +1,98 @@
+"""Tests for the 45-trace suite registry and trace caching."""
+
+import pytest
+
+from repro.workloads import suites
+
+
+class TestRoster:
+    def test_suite_counts_match_paper(self):
+        expected = {
+            "INT": 8, "CAD": 2, "MM": 8, "GAM": 4,
+            "JAV": 5, "TPC": 3, "NT": 8, "W95": 7,
+        }
+        for suite, count in expected.items():
+            assert len(suites.trace_names(suite)) == count, suite
+
+    def test_total_is_45(self):
+        assert len(suites.trace_names()) == 45
+
+    def test_names_unique(self):
+        names = suites.trace_names()
+        assert len(set(names)) == len(names)
+
+    def test_names_prefixed_with_suite(self):
+        for suite in suites.SUITE_NAMES:
+            for name in suites.trace_names(suite):
+                assert name.startswith(suite + "_") or name.startswith(suite)
+
+    def test_suite_of(self):
+        assert suites.suite_of("INT_xli") == "INT"
+        assert suites.suite_of("W95_wwd") == "W95"
+        with pytest.raises(KeyError):
+            suites.suite_of("XXX_nope")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(KeyError):
+            suites.trace_names("VAX")
+
+    def test_build_workload_unknown(self):
+        with pytest.raises(KeyError):
+            suites.build_workload("nonexistent")
+
+    def test_every_workload_buildable(self):
+        for name in suites.trace_names():
+            workload = suites.build_workload(name)
+            assert workload.name == name
+            assert workload.suite == suites.suite_of(name)
+
+    def test_extras_available(self):
+        workload = suites.build_workload("X_random")
+        assert workload.suite == "MISC"
+
+
+class TestDeterminism:
+    def test_seeds_are_stable(self):
+        a = suites.build_workload("INT_xli")
+        b = suites.build_workload("INT_xli")
+        assert a.seed == b.seed
+
+    def test_distinct_traces_distinct_seeds(self):
+        seeds = {suites.build_workload(n).seed for n in suites.trace_names()}
+        assert len(seeds) == 45
+
+
+class TestCaching:
+    def test_trace_cached_and_reloaded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        t1 = suites.get_trace("INT_xli", instructions=3000)
+        cached = list(tmp_path.glob("INT_xli_3000_v*.npz"))
+        assert cached
+        t2 = suites.get_trace("INT_xli", instructions=3000)
+        assert t1.addr == t2.addr
+
+    def test_cache_bypass(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        suites.get_trace("INT_xli", instructions=2000, use_cache=False)
+        assert not list(tmp_path.glob("INT_xli_2000_v*.npz"))
+
+    def test_metadata_carried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        trace = suites.get_trace("GAM_duk", instructions=2000)
+        assert trace.meta["suite"] == "GAM"
+        assert trace.name == "GAM_duk"
+
+
+class TestScaling:
+    def test_default_instructions(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SCALE", raising=False)
+        assert suites.default_instructions() == suites.DEFAULT_INSTRUCTIONS
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.5")
+        assert suites.default_instructions() == suites.DEFAULT_INSTRUCTIONS // 2
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "-1")
+        with pytest.raises(ValueError):
+            suites.default_instructions()

@@ -1,0 +1,147 @@
+"""Tests for the trace container, serialisation and derived streams."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.event import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_LOAD,
+    KIND_RET,
+    KIND_STORE,
+    LoadEvent,
+    TraceEvent,
+)
+from repro.trace.trace import Trace
+
+
+def make_trace():
+    t = Trace("sample", meta={"suite": "INT"})
+    t.append(KIND_ALU, 0x1000, dst=1)
+    t.append(KIND_LOAD, 0x1004, addr=0x2000, offset=8, dst=2, src1=1)
+    t.append(KIND_BRANCH, 0x1008, src1=1, src2=2, taken=1)
+    t.append(KIND_STORE, 0x100C, addr=0x2004, src1=1, src2=2)
+    t.append(KIND_CALL, 0x1010, addr=0x7FF0, taken=1)
+    t.append(KIND_RET, 0x1014, addr=0x7FF0, taken=1)
+    return t
+
+
+class TestTraceBasics:
+    def test_length(self):
+        assert len(make_trace()) == 6
+
+    def test_indexing_returns_event(self):
+        ev = make_trace()[1]
+        assert isinstance(ev, TraceEvent)
+        assert ev.is_load and ev.addr == 0x2000 and ev.offset == 8
+
+    def test_event_kind_flags(self):
+        t = make_trace()
+        assert t[1].is_load and not t[1].is_store
+        assert t[3].is_store
+        assert t[2].is_branch
+        assert t[4].is_store          # call writes the return address
+        assert t[5].is_load           # ret reads it
+
+    def test_events_iteration(self):
+        assert [e.ip for e in make_trace().events()] == [
+            0x1000, 0x1004, 0x1008, 0x100C, 0x1010, 0x1014,
+        ]
+
+    def test_loads_iteration(self):
+        loads = list(make_trace().loads())
+        assert loads[0] == LoadEvent(0x1004, 0x2000, 8)
+        assert len(loads) == 2  # ld + ret
+
+    def test_extend(self):
+        a, b = make_trace(), make_trace()
+        a.extend(b)
+        assert len(a) == 12
+
+
+class TestPredictorStream:
+    def test_stream_contents(self):
+        stream = make_trace().predictor_stream()
+        tags = [item[0] for item in stream]
+        # load, branch, call, (ret-load, ret-marker)
+        assert tags == [1, 0, 2, 1, 3]
+
+    def test_load_tuple_fields(self):
+        stream = make_trace().predictor_stream()
+        assert stream[0] == (1, 0x1004, 0x2000, 8)
+
+    def test_branch_tuple_carries_taken(self):
+        stream = make_trace().predictor_stream()
+        assert stream[1] == (0, 0x1008, 1, 0)
+
+    def test_alu_and_store_dropped(self):
+        stream = make_trace().predictor_stream()
+        ips = {item[1] for item in stream}
+        assert 0x1000 not in ips and 0x100C not in ips
+
+
+class TestSummary:
+    def test_counts(self):
+        s = make_trace().summary()
+        assert s.instructions == 6
+        assert s.loads == 2
+        assert s.stores == 2
+        assert s.branches == 1
+        assert s.taken_branches == 1
+        assert s.static_loads == 2
+
+    def test_load_fraction(self):
+        assert make_trace().summary().load_fraction == pytest.approx(2 / 6)
+
+    def test_empty_trace_summary(self):
+        s = Trace("empty").summary()
+        assert s.instructions == 0 and s.load_fraction == 0.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "t.npz"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == "sample"
+        assert loaded.meta == {"suite": "INT"}
+        for col in ("kind", "ip", "addr", "offset", "dst", "src1", "src2",
+                    "taken"):
+            assert getattr(loaded, col) == getattr(t, col)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "a" / "b" / "t.npz"
+        t.save(path)
+        assert path.exists()
+
+    @settings(max_examples=20)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 6),
+                st.integers(0, 2**31),
+                st.integers(0, 2**31),
+                st.integers(-128, 127),
+            ),
+            max_size=50,
+        )
+    )
+    def test_roundtrip_property(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        t = Trace("prop")
+        for kind, ip, addr, offset in rows:
+            t.append(kind, ip, addr, offset)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.npz"
+            t.save(path)
+            loaded = Trace.load(path)
+        assert loaded.kind == t.kind
+        assert loaded.ip == t.ip
+        assert loaded.addr == t.addr
+        assert loaded.offset == t.offset

@@ -1,0 +1,95 @@
+"""Tests for the load-value predictors (the Section 1 comparison)."""
+
+import pytest
+
+from repro.predictors import (
+    LastValuePredictor,
+    StrideValuePredictor,
+    ValueMetrics,
+    ValuePredictorConfig,
+    run_value_predictor,
+)
+from repro.workloads import LinkedListWorkload, trace_workload
+
+
+class TestLastValuePredictor:
+    def test_learns_constant_value(self):
+        p = LastValuePredictor()
+        metrics = run_value_predictor(p, [(0x100, 7)] * 10)
+        assert metrics.correct_predictions == 9
+        assert metrics.speculative > 0
+        assert metrics.accuracy == 1.0
+
+    def test_changing_values_never_confident(self):
+        p = LastValuePredictor()
+        metrics = run_value_predictor(p, [(0x100, i) for i in range(50)])
+        assert metrics.speculative == 0
+
+    def test_per_ip_isolation(self):
+        p = LastValuePredictor()
+        pairs = [(0x100, 1), (0x200, 2)] * 10
+        metrics = run_value_predictor(p, pairs)
+        assert metrics.predictability > 0.8
+
+
+class TestStrideValuePredictor:
+    def test_learns_counter_values(self):
+        """A load returning 0,1,2,3,... (a loop counter in memory)."""
+        p = StrideValuePredictor()
+        metrics = run_value_predictor(p, [(0x100, i) for i in range(50)])
+        assert metrics.predictability > 0.9
+        assert metrics.accuracy > 0.95
+
+    def test_constant_is_stride_zero(self):
+        p = StrideValuePredictor()
+        metrics = run_value_predictor(p, [(0x100, 42)] * 20)
+        assert metrics.predictability > 0.9
+
+    def test_wraps_32bit(self):
+        p = StrideValuePredictor()
+        values = [(0x100, (0xFFFF_FFF0 + 8 * i) & 0xFFFFFFFF) for i in range(20)]
+        metrics = run_value_predictor(p, values)
+        assert metrics.predictability > 0.8
+
+
+class TestValueMetrics:
+    def test_empty(self):
+        m = ValueMetrics()
+        assert m.prediction_rate == 0.0
+        assert m.accuracy == 0.0
+        assert m.predictability == 0.0
+
+    def test_add(self):
+        a = ValueMetrics(loads=10, speculative=5, correct_speculative=5)
+        b = ValueMetrics(loads=10, speculative=0)
+        a.add(b)
+        assert a.loads == 20
+        assert a.prediction_rate == pytest.approx(0.25)
+
+
+class TestPaperClaim:
+    def test_addresses_more_predictable_than_values(self):
+        """Section 1: load-value prediction has 'lower predictability'.
+
+        On a pointer chase the *addresses* cycle predictably while the
+        *values* (pointers one step ahead plus data) are just as cyclic —
+        but on general workloads values include computation results.  Use
+        the interpreter-style workload: address prediction must beat value
+        prediction clearly.
+        """
+        from repro.eval.runner import run_predictor
+        from repro.predictors import HybridPredictor
+
+        trace = trace_workload(
+            LinkedListWorkload(seed=5), max_instructions=30_000,
+        )
+        addr = run_predictor(HybridPredictor(), trace.predictor_stream())
+        value = run_value_predictor(
+            StrideValuePredictor(), trace.value_stream(),
+        )
+        assert addr.prediction_rate > value.prediction_rate
+
+    def test_config_applied(self):
+        p = LastValuePredictor(ValuePredictorConfig(confidence_threshold=4))
+        metrics = run_value_predictor(p, [(0x100, 7)] * 6)
+        assert metrics.speculative == 1  # needs 4 correct first
