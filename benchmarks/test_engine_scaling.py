@@ -1,0 +1,76 @@
+"""Engine scaling: the same job grid at 1, 2 and N worker processes.
+
+Not a figure reproduction — a harness-health benchmark.  It times a
+fig5-style (trace x predictor) grid through the parallel experiment engine
+at several worker counts and reports the speedup over serial, so future
+PRs can spot scaling regressions (pool overhead creeping up, lock
+contention on the trace cache, results merging going quadratic, ...).
+
+On a single-core runner the multi-process rows are expected to be mildly
+*slower* than serial (pure pool overhead); the numbers still matter
+because the overhead itself is what must not regress.
+"""
+
+import os
+
+import pytest
+
+from conftest import run_once
+
+from repro.eval.engine import Job, run_jobs
+
+GRID_TRACES = ["INT_xli", "MM_aud", "GAM_duk", "NT_cdw"]
+GRID_VARIANTS = ["stride", "cap", "hybrid"]
+
+
+def _grid(instr):
+    return [
+        Job(trace=name, factory=variant, instructions=instr, variant=variant)
+        for name in GRID_TRACES
+        for variant in GRID_VARIANTS
+    ]
+
+
+def _workers_n():
+    return max(2, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="module")
+def scaling_instr():
+    return int(os.environ.get("REPRO_BENCH_INSTR", "200000")) // 4
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm(scaling_instr):
+    # Generate the grid's traces once so every timed run sees a warm cache.
+    run_jobs(_grid(scaling_instr), max_workers=1)
+
+
+@pytest.mark.parametrize("workers", [1, 2, _workers_n()],
+                         ids=lambda w: f"jobs{w}")
+def test_engine_grid_scaling(benchmark, scaling_instr, workers, report):
+    results = run_once(
+        benchmark, lambda: run_jobs(_grid(scaling_instr), max_workers=workers)
+    )
+    assert len(results) == len(GRID_TRACES) * len(GRID_VARIANTS)
+    assert all(r.metrics.loads > 0 for r in results)
+    report(
+        f"engine scaling: {len(results)} jobs @ {workers} worker(s): "
+        f"{benchmark.stats.stats.mean:.2f}s"
+    )
+
+
+def test_engine_results_independent_of_workers(scaling_instr):
+    """The scaling grid returns identical metrics at every worker count."""
+    def fingerprint(results):
+        return [
+            (r.variant, r.trace, r.metrics.loads, r.metrics.speculative,
+             r.metrics.correct_speculative)
+            for r in results
+        ]
+
+    serial = fingerprint(run_jobs(_grid(scaling_instr), max_workers=1))
+    for workers in (2, _workers_n()):
+        assert fingerprint(
+            run_jobs(_grid(scaling_instr), max_workers=workers)
+        ) == serial

@@ -5,6 +5,7 @@ Usage (via ``python -m repro``)::
     python -m repro list                      # available experiments/traces
     python -m repro run fig5                  # one figure, quick trace set
     python -m repro run fig9 --full           # all 45 traces
+    python -m repro run fig5 --full --jobs 4  # 4 parallel worker processes
     python -m repro run fig7 --traces INT_xli MM_aud --instructions 50000
     python -m repro summarize INT_xli         # trace statistics
     python -m repro analyze INT_xli           # Section 2-style load analysis
@@ -14,12 +15,14 @@ Usage (via ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
 from ..workloads import suites
 from . import experiments as E
+from .engine import resolve_jobs
 
 #: name -> (driver, description)
 EXPERIMENTS: Dict[str, tuple] = {
@@ -59,6 +62,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     driver, _ = EXPERIMENTS[args.experiment]
 
+    if args.jobs is not None and args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.jobs is not None:
+        # The engine reads REPRO_JOBS at run time; routing the flag through
+        # the environment keeps every driver signature unchanged and the
+        # setting inheritable by pool workers.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+
     traces: Optional[List[str]]
     if args.traces:
         traces = args.traces
@@ -74,7 +86,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(result.render_chart())
     else:
         print(result.render())
-    print(f"\n[{len(traces)} traces, {elapsed:.1f}s]")
+    print(f"\n[{len(traces)} traces, {resolve_jobs()} worker(s),"
+          f" {elapsed:.1f}s]")
     return 0
 
 
@@ -147,6 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-trace dynamic instruction budget")
     run.add_argument("--chart", action="store_true",
                      help="render as ASCII bars instead of a table")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="parallel worker processes (default: REPRO_JOBS"
+                          " env var, else CPU count; 1 = serial)")
     run.set_defaults(func=_cmd_run)
 
     summarize = sub.add_parser("summarize", help="print trace statistics")

@@ -1,0 +1,280 @@
+"""Parallel experiment engine: a declarative job model for the figure suite.
+
+Every grid-shaped experiment in :mod:`repro.eval.experiments` is a cross
+product of (predictor variant x trace), optionally wrapped in a pipelined
+prediction gap or run through the timing model.  This module turns one
+cell of that grid into a picklable :class:`Job` *spec* — predictor factory
+name, config overrides, trace name, instruction budget — and executes a
+batch of them either fully in-process or across a ``ProcessPoolExecutor``.
+
+Design rules:
+
+* **Jobs are specs, not live objects.**  Workers resolve the trace through
+  the on-disk cache in :mod:`repro.workloads.suites` (first generation is
+  file-locked and atomically renamed, so cold-cache workers don't race)
+  and instantiate the predictor locally from the factory registry.
+* **Results merge in job order.**  ``run_jobs`` returns one
+  :class:`JobResult` per job, in the order the jobs were given, no matter
+  which worker finished first — serial and parallel runs are
+  bit-identical.
+* **Worker count comes from ``REPRO_JOBS``** (default: CPU count).
+  ``REPRO_JOBS=1`` short-circuits to plain in-process execution, so pytest
+  and debugging behaviour is exactly the single-process code path.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..pipeline.delayed import PipelinedPredictor
+from ..predictors.base import AddressPredictor
+from ..predictors.cap import CAPConfig, CAPPredictor
+from ..predictors.gshare_address import (
+    GShareAddressConfig,
+    GShareAddressPredictor,
+)
+from ..predictors.hybrid import HybridConfig, HybridPredictor, SelectorStats
+from ..predictors.last_address import LastAddressConfig, LastAddressPredictor
+from ..predictors.stride import StrideConfig, StridePredictor
+from ..timing.machine import MachineConfig
+from ..timing.ooo import simulate
+from ..trace.trace import PredictorStream, Trace
+from ..workloads import suites as suite_registry
+from .metrics import PredictorMetrics
+from .runner import run_on_columns
+
+__all__ = [
+    "FACTORIES",
+    "Job",
+    "JobResult",
+    "build_predictor",
+    "execute_job",
+    "resolve_jobs",
+    "run_jobs",
+]
+
+KIND_PREDICT = "predict"
+KIND_TIMING = "timing"
+
+
+def _make_stride(**overrides) -> StridePredictor:
+    return StridePredictor(StrideConfig(**overrides))
+
+
+def _make_basic_stride(**overrides) -> StridePredictor:
+    return StridePredictor(StrideConfig.basic(**overrides))
+
+
+def _make_cap(**overrides) -> CAPPredictor:
+    return CAPPredictor(CAPConfig(**overrides))
+
+
+def _make_hybrid(**overrides) -> HybridPredictor:
+    return HybridPredictor(HybridConfig(**overrides))
+
+
+def _make_last_address(**overrides) -> LastAddressPredictor:
+    return LastAddressPredictor(LastAddressConfig(**overrides))
+
+
+def _make_gshare(**overrides) -> GShareAddressPredictor:
+    return GShareAddressPredictor(GShareAddressConfig(**overrides))
+
+
+#: Named predictor factories a :class:`Job` may reference.  Keys — not
+#: callables — cross the process boundary, so workers rebuild predictors
+#: from configuration alone.
+FACTORIES: Dict[str, Callable[..., AddressPredictor]] = {
+    "stride": _make_stride,
+    "basic_stride": _make_basic_stride,
+    "cap": _make_cap,
+    "hybrid": _make_hybrid,
+    "last_address": _make_last_address,
+    "gshare": _make_gshare,
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One cell of an experiment grid, fully described by picklable data.
+
+    ``factory`` names an entry of :data:`FACTORIES`; ``None`` is only
+    meaningful for ``kind="timing"`` and simulates the no-prediction
+    baseline.  ``gap`` (when not ``None``) wraps the predictor in
+    :class:`~repro.pipeline.delayed.PipelinedPredictor` — note ``gap=0``
+    still wraps, matching the immediate-update end of the Figure 11 sweep.
+    ``variant`` labels the result for merging; ``capture_selector`` ships
+    the hybrid's Figure 8 selector statistics back with the metrics.
+    """
+
+    trace: str
+    factory: Optional[str] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    instructions: Optional[int] = None
+    warmup_fraction: float = 0.0
+    gap: Optional[int] = None
+    kind: str = KIND_PREDICT
+    capture_selector: bool = False
+    machine: Optional[MachineConfig] = None
+    variant: str = ""
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed :class:`Job`, tagged for deterministic merge."""
+
+    variant: str
+    trace: str
+    suite: str
+    metrics: Optional[PredictorMetrics] = None
+    cycles: Optional[int] = None
+    selector_stats: Optional[SelectorStats] = None
+
+
+# Tiny per-process memo for traces and stream columns: drivers emit jobs
+# trace-outer, so serial runs and pool workers alike keep hitting the same
+# few traces back to back; this avoids re-reading the .npz for every
+# variant of a grid row.
+_MEMO: "OrderedDict[tuple, Any]" = OrderedDict()
+_MEMO_CAPACITY = 4
+
+
+def _memoized(key: tuple, loader: Callable[[], Any]) -> Any:
+    value = _MEMO.get(key)
+    if value is None:
+        value = loader()
+        _MEMO[key] = value
+        if len(_MEMO) > _MEMO_CAPACITY:
+            _MEMO.popitem(last=False)
+    else:
+        _MEMO.move_to_end(key)
+    return value
+
+
+def _memoized_trace(name: str, instructions: Optional[int]) -> Trace:
+    key = ("trace", name, instructions, os.environ.get("REPRO_TRACE_CACHE"))
+    return _memoized(
+        key, lambda: suite_registry.get_trace(name, instructions)
+    )
+
+
+def _memoized_stream(
+    name: str, instructions: Optional[int]
+) -> PredictorStream:
+    """Stream columns only — skips the full event columns on a warm cache.
+
+    A trace already memoised (by a timing job) donates its stream instead
+    of re-reading anything.
+    """
+    cache_dir = os.environ.get("REPRO_TRACE_CACHE")
+    trace = _MEMO.get(("trace", name, instructions, cache_dir))
+    if trace is not None:
+        return trace.predictor_columns()
+    key = ("stream", name, instructions, cache_dir)
+    return _memoized(
+        key, lambda: suite_registry.get_predictor_stream(name, instructions)
+    )
+
+
+def _suite_of(trace_name: str) -> str:
+    try:
+        return suite_registry.suite_of(trace_name)
+    except KeyError:
+        return "MISC"
+
+
+def build_predictor(job: Job) -> AddressPredictor:
+    """Instantiate the predictor a job describes (worker side)."""
+    if job.factory is None:
+        raise ValueError("job has no predictor factory")
+    try:
+        factory = FACTORIES[job.factory]
+    except KeyError:
+        raise KeyError(
+            f"unknown predictor factory {job.factory!r};"
+            f" choose from {sorted(FACTORIES)}"
+        ) from None
+    predictor = factory(**job.overrides)
+    if job.gap is not None:
+        predictor = PipelinedPredictor(predictor, job.gap)
+    return predictor
+
+
+def execute_job(job: Job) -> JobResult:
+    """Run one job to completion in the current process."""
+    if job.kind == KIND_TIMING:
+        trace = _memoized_trace(job.trace, job.instructions)
+        predictor = build_predictor(job) if job.factory is not None else None
+        timing = simulate(trace, predictor, job.machine)
+        return JobResult(
+            variant=job.variant, trace=job.trace,
+            suite=trace.meta.get("suite", "MISC"), cycles=timing.cycles,
+        )
+    if job.kind != KIND_PREDICT:
+        raise ValueError(f"unknown job kind {job.kind!r}")
+    suite = _suite_of(job.trace)
+    stream = _memoized_stream(job.trace, job.instructions)
+    warmup = int(stream.loads * job.warmup_fraction)
+    predictor = build_predictor(job)
+    metrics = PredictorMetrics(
+        name=job.variant or predictor.name, trace=job.trace, suite=suite,
+    )
+    run_on_columns(predictor, stream, metrics, warmup_loads=warmup)
+    selector_stats = None
+    if job.capture_selector:
+        core = getattr(predictor, "inner", predictor)
+        selector_stats = getattr(core, "selector_stats", None)
+    return JobResult(
+        variant=job.variant, trace=job.trace, suite=suite,
+        metrics=metrics, selector_stats=selector_stats,
+    )
+
+
+def resolve_jobs(explicit: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else CPUs."""
+    if explicit is not None:
+        workers = int(explicit)
+    else:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    max_workers: Optional[int] = None,
+) -> List[JobResult]:
+    """Execute a batch of jobs and return results in job order.
+
+    With one worker (``REPRO_JOBS=1`` or a single job) everything runs
+    in-process; otherwise jobs fan out over a ``ProcessPoolExecutor`` and
+    results are stitched back by submission index, so the output is
+    independent of worker scheduling.
+    """
+    job_list: Sequence[Job] = list(jobs)
+    workers = resolve_jobs(max_workers)
+    if workers == 1 or len(job_list) < 2:
+        return [execute_job(job) for job in job_list]
+    results: List[Optional[JobResult]] = [None] * len(job_list)
+    with ProcessPoolExecutor(max_workers=min(workers, len(job_list))) as pool:
+        futures = {
+            pool.submit(execute_job, job): index
+            for index, job in enumerate(job_list)
+        }
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+    return results  # type: ignore[return-value]

@@ -27,18 +27,11 @@ control_based  Section 3.6's g-share / call-path address predictors
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..pipeline.delayed import PipelinedPredictor
-from ..predictors.base import AddressPredictor
 from ..predictors.cap import CORRELATION_BASE, CORRELATION_REAL, CAPConfig, CAPPredictor
 from ..predictors.confidence import CFI_LAST, CFI_OFF
-from ..predictors.gshare_address import (
-    HISTORY_BRANCH,
-    HISTORY_CALL_PATH,
-    GShareAddressConfig,
-    GShareAddressPredictor,
-)
+from ..predictors.gshare_address import HISTORY_BRANCH, HISTORY_CALL_PATH
 from ..predictors.hybrid import (
     UPDATE_ALWAYS,
     UPDATE_UNLESS_STRIDE_CORRECT,
@@ -46,13 +39,12 @@ from ..predictors.hybrid import (
     HybridConfig,
     HybridPredictor,
 )
-from ..predictors.last_address import LastAddressPredictor
 from ..predictors.link_table import LinkTableConfig
 from ..predictors.stride import StrideConfig, StridePredictor
 from ..timing.machine import MachineConfig
-from ..timing.ooo import simulate
 from ..workloads import suites as suite_registry
 from .charts import grouped_bar_chart
+from .engine import Job, run_jobs
 from .metrics import PredictorMetrics, SuiteMetrics, aggregate_by_suite
 from .report import format_percent, format_speedup, format_table
 from .runner import run_predictor
@@ -89,15 +81,6 @@ def _resolve_traces(traces: Optional[Iterable[str]]) -> List[str]:
     return list(traces) if traces is not None else suite_registry.trace_names()
 
 
-def _iter_streams(
-    trace_names: List[str], instructions: Optional[int]
-) -> Iterable[Tuple[str, str, list]]:
-    """Yield (name, suite, predictor stream) one trace at a time."""
-    for name in trace_names:
-        trace = suite_registry.get_trace(name, instructions)
-        yield name, trace.meta.get("suite", "MISC"), trace.predictor_stream()
-
-
 # ---------------------------------------------------------------------------
 # Predictor factories (paper baseline configurations)
 # ---------------------------------------------------------------------------
@@ -117,6 +100,45 @@ def make_cap(**overrides) -> CAPPredictor:
 def make_hybrid(**overrides) -> HybridPredictor:
     """Hybrid CAP/enhanced-stride with the dynamic selector."""
     return HybridPredictor(HybridConfig(**overrides))
+
+
+# ---------------------------------------------------------------------------
+# Engine variant specs
+# ---------------------------------------------------------------------------
+
+#: (engine factory name, config overrides, prediction gap or None).
+VariantSpec = Tuple[str, Dict[str, Any], Optional[int]]
+
+
+def _spec(
+    factory: str, gap: Optional[int] = None, **overrides: Any
+) -> VariantSpec:
+    """Shorthand for one predictor-variant spec of an experiment grid."""
+    return (factory, overrides, gap)
+
+
+def _grid_jobs(
+    trace_names: List[str],
+    variants: Dict[str, VariantSpec],
+    instructions: Optional[int],
+    warmup_fraction: float = 0.0,
+    capture_selector: bool = False,
+) -> List[Job]:
+    """Jobs for a (trace x variant) grid, trace-outer for cache locality."""
+    return [
+        Job(
+            trace=name,
+            factory=factory,
+            overrides=overrides,
+            instructions=instructions,
+            warmup_fraction=warmup_fraction,
+            gap=gap,
+            capture_selector=capture_selector,
+            variant=variant,
+        )
+        for name in trace_names
+        for variant, (factory, overrides, gap) in variants.items()
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -175,24 +197,17 @@ class SuiteComparison:
 
 def _compare(
     title: str,
-    variants: Dict[str, Callable[[], AddressPredictor]],
+    variants: Dict[str, VariantSpec],
     traces: Optional[Iterable[str]] = None,
     instructions: Optional[int] = None,
     warmup_fraction: float = 0.0,
 ) -> SuiteComparison:
     trace_names = _resolve_traces(traces)
     result = SuiteComparison(title=title, variants=list(variants))
+    jobs = _grid_jobs(trace_names, variants, instructions, warmup_fraction)
     runs: Dict[str, List[PredictorMetrics]] = {v: [] for v in variants}
-    for name, suite, stream in _iter_streams(trace_names, instructions):
-        loads = sum(1 for item in stream if item[0] == 1)
-        warmup = int(loads * warmup_fraction)
-        for variant, factory in variants.items():
-            metrics = run_predictor(
-                factory(), stream, name=variant, warmup_loads=warmup
-            )
-            metrics.trace = name
-            metrics.suite = suite
-            runs[variant].append(metrics)
+    for job_result in run_jobs(jobs):
+        runs[job_result.variant].append(job_result.metrics)
     result.runs = runs
     result.suites = {
         variant: aggregate_by_suite(metrics_list, name=variant)
@@ -213,9 +228,9 @@ def fig5(
     return _compare(
         "Figure 5: prediction rate and accuracy per suite",
         {
-            "stride": make_enhanced_stride,
-            "cap": make_cap,
-            "hybrid": make_hybrid,
+            "stride": _spec("stride"),
+            "cap": _spec("cap"),
+            "hybrid": _spec("hybrid"),
         },
         traces,
         instructions,
@@ -236,10 +251,8 @@ def fig6(
         (2048, 2), (4096, 1), (4096, 2), (4096, 4), (8192, 2),
     ]
     variants = {
-        f"{entries // 1024}K,{ways}way": (
-            lambda entries=entries, ways=ways: make_hybrid(
-                lb_entries=entries, lb_ways=ways
-            )
+        f"{entries // 1024}K,{ways}way": _spec(
+            "hybrid", lb_entries=entries, lb_ways=ways
         )
         for entries, ways in geometries
     }
@@ -261,10 +274,8 @@ def lt_sweep(
     """Hybrid prediction rate vs Link Table size (Section 4.2 text)."""
     sizes = sizes or [1024, 2048, 4096, 8192]
     variants = {
-        f"LT {size // 1024}K": (
-            lambda size=size: make_hybrid(
-                cap=CAPConfig(lt=LinkTableConfig(entries=size))
-            )
+        f"LT {size // 1024}K": _spec(
+            "hybrid", cap=CAPConfig(lt=LinkTableConfig(entries=size))
         )
         for size in sizes
     }
@@ -325,24 +336,43 @@ class SpeedupResult:
         return format_table(headers, rows, title=self.title)
 
 
+_BASELINE = "__baseline__"
+
+
 def _speedups(
     title: str,
-    variants: Dict[str, Callable[[], AddressPredictor]],
+    variants: Dict[str, VariantSpec],
     traces: Optional[Iterable[str]],
     instructions: Optional[int],
     machine: Optional[MachineConfig] = None,
 ) -> SpeedupResult:
     trace_names = _resolve_traces(traces)
     result = SpeedupResult(title=title, variants=list(variants))
+    jobs: List[Job] = []
     for name in trace_names:
-        trace = suite_registry.get_trace(name, instructions)
-        baseline = simulate(trace, None, machine)
-        result.base_cycles[name] = baseline.cycles
-        result.suite_of[name] = trace.meta.get("suite", "MISC")
-        result.per_trace[name] = {}
-        for variant, factory in variants.items():
-            run = simulate(trace, factory(), machine)
-            result.per_trace[name][variant] = baseline.cycles / run.cycles
+        jobs.append(Job(
+            trace=name, instructions=instructions, kind="timing",
+            machine=machine, variant=_BASELINE,
+        ))
+        for variant, (factory, overrides, gap) in variants.items():
+            jobs.append(Job(
+                trace=name, factory=factory, overrides=overrides,
+                instructions=instructions, gap=gap, kind="timing",
+                machine=machine, variant=variant,
+            ))
+    base_cycles: Dict[str, int] = {}
+    for job_result in run_jobs(jobs):
+        name = job_result.trace
+        if job_result.variant == _BASELINE:
+            base_cycles[name] = job_result.cycles
+            result.base_cycles[name] = job_result.cycles
+            result.suite_of[name] = job_result.suite
+            result.per_trace[name] = {}
+        else:
+            # The baseline job precedes its variants in job order.
+            result.per_trace[name][job_result.variant] = (
+                base_cycles[name] / job_result.cycles
+            )
     return result
 
 
@@ -355,8 +385,8 @@ def fig7(
     return _speedups(
         "Figure 7: speedup over no address prediction (immediate update)",
         {
-            "stride": make_enhanced_stride,
-            "hybrid": make_hybrid,
+            "stride": _spec("stride"),
+            "hybrid": _spec("hybrid"),
         },
         traces, instructions, machine,
     )
@@ -372,12 +402,10 @@ def fig12(
     return _speedups(
         f"Figure 12: speedup at prediction gap {gap} vs immediate",
         {
-            "stride imm": make_enhanced_stride,
-            f"stride g{gap}": lambda: PipelinedPredictor(
-                make_enhanced_stride(), gap
-            ),
-            "hybrid imm": make_hybrid,
-            f"hybrid g{gap}": lambda: PipelinedPredictor(make_hybrid(), gap),
+            "stride imm": _spec("stride"),
+            f"stride g{gap}": _spec("stride", gap=gap),
+            "hybrid imm": _spec("hybrid"),
+            f"hybrid g{gap}": _spec("hybrid", gap=gap),
         },
         traces, instructions, machine,
     )
@@ -395,12 +423,12 @@ def lt_update_policy(
     return _compare(
         "Section 4.3: Link Table update policies (hybrid)",
         {
-            "always": lambda: make_hybrid(lt_update_policy=UPDATE_ALWAYS),
-            "unless stride ok": lambda: make_hybrid(
-                lt_update_policy=UPDATE_UNLESS_STRIDE_CORRECT
+            "always": _spec("hybrid", lt_update_policy=UPDATE_ALWAYS),
+            "unless stride ok": _spec(
+                "hybrid", lt_update_policy=UPDATE_UNLESS_STRIDE_CORRECT
             ),
-            "unless selected": lambda: make_hybrid(
-                lt_update_policy=UPDATE_UNLESS_STRIDE_SELECTED
+            "unless selected": _spec(
+                "hybrid", lt_update_policy=UPDATE_UNLESS_STRIDE_SELECTED
             ),
         },
         traces, instructions,
@@ -450,11 +478,15 @@ def fig8(
     trace_names = _resolve_traces(traces)
     result = SelectorResult(title="Figure 8: hybrid selector performance")
     per_suite: Dict[str, List] = {}
-    for name, suite, stream in _iter_streams(trace_names, instructions):
-        predictor = make_hybrid()
-        run_predictor(predictor, stream)
-        per_suite.setdefault(suite, []).append(predictor.selector_stats)
-        per_suite.setdefault("Average", []).append(predictor.selector_stats)
+    jobs = _grid_jobs(
+        trace_names, {"hybrid": _spec("hybrid")}, instructions,
+        capture_selector=True,
+    )
+    for job_result in run_jobs(jobs):
+        per_suite.setdefault(job_result.suite, []).append(
+            job_result.selector_stats
+        )
+        per_suite.setdefault("Average", []).append(job_result.selector_stats)
     for suite, stats_list in per_suite.items():
         counts: Dict[str, int] = {}
         sel_hits = sel_total = dual = spec = 0
@@ -528,20 +560,23 @@ def fig9(
         "global correlation": CORRELATION_BASE,
         "no global correlation": CORRELATION_REAL,
     }
+    variants = {
+        f"{label}|{n}": _spec(
+            "cap",
+            correlation=mode,
+            history_length=n,
+            cfi_mode=CFI_OFF,
+            lt=LinkTableConfig(tag_bits=0),
+        )
+        for label, mode in modes.items()
+        for n in lengths
+    }
     totals = {
         (label, n): PredictorMetrics() for label in modes for n in lengths
     }
-    for name, suite, stream in _iter_streams(trace_names, instructions):
-        for label, mode in modes.items():
-            for n in lengths:
-                predictor = make_cap(
-                    correlation=mode,
-                    history_length=n,
-                    cfi_mode=CFI_OFF,
-                    lt=LinkTableConfig(tag_bits=0),
-                )
-                metrics = run_predictor(predictor, stream)
-                totals[(label, n)].add(metrics)
+    for job_result in run_jobs(_grid_jobs(trace_names, variants, instructions)):
+        label, n = job_result.variant.rsplit("|", 1)
+        totals[(label, int(n))].add(job_result.metrics)
     for label in modes:
         result.series[label] = [
             totals[(label, n)].correct_predictions / totals[(label, n)].loads
@@ -582,21 +617,21 @@ def fig10(
     instructions: Optional[int] = None,
 ) -> ConfidenceResult:
     """Influence of LT tags and path information on CAP (Figure 10)."""
-    configs: Dict[str, Callable[[], AddressPredictor]] = {
-        "no tag": lambda: make_cap(
-            cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=0)
+    configs: Dict[str, VariantSpec] = {
+        "no tag": _spec(
+            "cap", cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=0)
         ),
-        "4-bit tag": lambda: make_cap(
-            cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=4)
+        "4-bit tag": _spec(
+            "cap", cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=4)
         ),
-        "8-bit tag": lambda: make_cap(
-            cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=8)
+        "8-bit tag": _spec(
+            "cap", cfi_mode=CFI_OFF, lt=LinkTableConfig(tag_bits=8)
         ),
-        "4-bit tag + path": lambda: make_cap(
-            cfi_mode=CFI_LAST, lt=LinkTableConfig(tag_bits=4)
+        "4-bit tag + path": _spec(
+            "cap", cfi_mode=CFI_LAST, lt=LinkTableConfig(tag_bits=4)
         ),
-        "8-bit tag + path": lambda: make_cap(
-            cfi_mode=CFI_LAST, lt=LinkTableConfig(tag_bits=8)
+        "8-bit tag + path": _spec(
+            "cap", cfi_mode=CFI_LAST, lt=LinkTableConfig(tag_bits=8)
         ),
     }
     trace_names = _resolve_traces(traces)
@@ -605,9 +640,8 @@ def fig10(
         configs=list(configs),
     )
     totals = {cfg: PredictorMetrics() for cfg in configs}
-    for name, suite, stream in _iter_streams(trace_names, instructions):
-        for cfg, factory in configs.items():
-            totals[cfg].add(run_predictor(factory(), stream))
+    for job_result in run_jobs(_grid_jobs(trace_names, configs, instructions)):
+        totals[job_result.variant].add(job_result.metrics)
     for cfg, metrics in totals.items():
         result.prediction_rate[cfg] = metrics.prediction_rate
         result.misprediction_rate[cfg] = metrics.misprediction_rate
@@ -664,16 +698,16 @@ def fig11(
     result = GapResult(
         title="Figure 11: prediction gap influence", gaps=gaps,
     )
-    variants: Dict[str, Callable[[], AddressPredictor]] = {
-        "stride": make_enhanced_stride,
-        "hybrid": make_hybrid,
+    variants = ("stride", "hybrid")
+    grid = {
+        f"{variant}|{gap}": _spec(variant, gap=gap)
+        for variant in variants
+        for gap in gaps
     }
     totals = {(v, g): PredictorMetrics() for v in variants for g in gaps}
-    for name, suite, stream in _iter_streams(trace_names, instructions):
-        for variant, factory in variants.items():
-            for gap in gaps:
-                predictor = PipelinedPredictor(factory(), gap)
-                totals[(variant, gap)].add(run_predictor(predictor, stream))
+    for job_result in run_jobs(_grid_jobs(trace_names, grid, instructions)):
+        variant, gap = job_result.variant.rsplit("|", 1)
+        totals[(variant, int(gap))].add(job_result.metrics)
     for variant in variants:
         result.series[variant] = {}
         for gap in gaps:
@@ -698,9 +732,9 @@ def baselines(
     return _compare(
         "Section 1: last-address and stride baselines",
         {
-            "last": LastAddressPredictor,
-            "basic stride": make_basic_stride,
-            "enh stride": make_enhanced_stride,
+            "last": _spec("last_address"),
+            "basic stride": _spec("basic_stride"),
+            "enh stride": _spec("stride"),
         },
         traces, instructions,
     )
@@ -714,13 +748,9 @@ def control_based(
     return _compare(
         "Section 3.6: control-based address predictors",
         {
-            "gshare": lambda: GShareAddressPredictor(
-                GShareAddressConfig(history_mode=HISTORY_BRANCH)
-            ),
-            "call-path": lambda: GShareAddressPredictor(
-                GShareAddressConfig(history_mode=HISTORY_CALL_PATH)
-            ),
-            "cap": make_cap,
+            "gshare": _spec("gshare", history_mode=HISTORY_BRANCH),
+            "call-path": _spec("gshare", history_mode=HISTORY_CALL_PATH),
+            "cap": _spec("cap"),
         },
         traces, instructions,
     )

@@ -174,13 +174,16 @@ class CPU:
                 if record:
                     record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
             elif code == _BLT:
-                taken = _signed(regs[rs1]) < _signed(regs[rs2])
+                # Signed compare without the _signed() call overhead:
+                # XOR-ing the sign bit biases both words by 2^31, mapping
+                # two's-complement order onto unsigned order.
+                taken = (regs[rs1] ^ _SIGN_BIT) < (regs[rs2] ^ _SIGN_BIT)
                 if taken:
                     next_pc = target
                 if record:
                     record(KIND_BRANCH, ip, 0, 0, -1, rs1, rs2, 1 if taken else 0)
             elif code == _BGE:
-                taken = _signed(regs[rs1]) >= _signed(regs[rs2])
+                taken = (regs[rs1] ^ _SIGN_BIT) >= (regs[rs2] ^ _SIGN_BIT)
                 if taken:
                     next_pc = target
                 if record:

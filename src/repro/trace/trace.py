@@ -10,9 +10,10 @@ list appends.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,11 +28,64 @@ from .event import (
     TraceEvent,
 )
 
-__all__ = ["Trace", "TraceSummary"]
+__all__ = ["PredictorStream", "Trace", "TraceSummary"]
 
 _COLUMNS = (
     "kind", "ip", "addr", "offset", "dst", "src1", "src2", "taken", "value",
 )
+
+#: Serialised names of the derived predictor-stream columns (``.npz`` keys).
+_STREAM_COLUMNS = ("ps_tag", "ps_ip", "ps_a", "ps_b")
+
+
+class PredictorStream:
+    """Columnar predictor-visible event stream.
+
+    Four parallel lists, one entry per predictor-visible event in program
+    order, carrying the same ``(tag, ip, a, b)`` quadruples that
+    :meth:`Trace.predictor_stream` packs into tuples:
+
+    * ``(1, ip, addr, offset)`` for each dynamic load,
+    * ``(0, ip, taken, 0)``     for each conditional branch,
+    * ``(2, ip, 0, 0)``         for each call,
+    * ``(3, ip, 0, 0)``         for each return.
+
+    Keeping the columns separate avoids materialising millions of 4-tuples
+    per trace; iterating yields tuples lazily (CPython's ``zip`` recycles
+    the result tuple in a plain ``for`` loop, so the tuple-based consumers
+    keep working unchanged at a fraction of the allocation cost).
+    """
+
+    __slots__ = ("tag", "ip", "a", "b", "loads")
+
+    def __init__(
+        self,
+        tag: List[int],
+        ip: List[int],
+        a: List[int],
+        b: List[int],
+        loads: Optional[int] = None,
+    ) -> None:
+        self.tag = tag
+        self.ip = ip
+        self.a = a
+        self.b = b
+        #: Number of dynamic loads (``tag == 1`` entries), precomputed so
+        #: warm-up bookkeeping never rescans the stream.
+        self.loads = loads if loads is not None else tag.count(1)
+
+    def __len__(self) -> int:
+        return len(self.tag)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int, int]]:
+        return zip(self.tag, self.ip, self.a, self.b)
+
+    def tuples(self) -> List[tuple]:
+        """Materialise the stream as the legacy list of 4-tuples."""
+        return list(zip(self.tag, self.ip, self.a, self.b))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PredictorStream(events={len(self)}, loads={self.loads})"
 
 
 @dataclass
@@ -89,6 +143,11 @@ class Trace:
         self.src2: List[int] = []
         self.taken: List[int] = []
         self.value: List[int] = []
+        # Memoised derived streams.  Traces are immutable once a workload
+        # finishes generating them, so these never need invalidation on the
+        # hot recording path; ``extend`` (a cold path) clears them.
+        self._predictor_stream: Optional[PredictorStream] = None
+        self._predictor_tuples: Optional[List[tuple]] = None
 
     # -- recording (used by the CPU) ---------------------------------------
 
@@ -119,6 +178,8 @@ class Trace:
         """Concatenate another trace's events onto this one."""
         for col in _COLUMNS:
             getattr(self, col).extend(getattr(other, col))
+        self._predictor_stream = None
+        self._predictor_tuples = None
 
     # -- access -------------------------------------------------------------
 
@@ -154,8 +215,56 @@ class Trace:
             if kinds[i] in LOAD_KINDS:
                 yield LoadEvent(ips[i], addrs[i], offsets[i])
 
+    def predictor_columns(self) -> PredictorStream:
+        """Columnar predictor-visible stream (memoised).
+
+        Same events and ordering as :meth:`predictor_stream`, held as four
+        parallel lists instead of a list of tuples.  Built once per trace;
+        traces loaded from a cache file restore it directly from the
+        persisted columns without rescanning the full event columns.
+        """
+        if self._predictor_stream is None:
+            tags: List[int] = []
+            s_ips: List[int] = []
+            s_a: List[int] = []
+            s_b: List[int] = []
+            loads = 0
+            kinds = self.kind
+            ips = self.ip
+            addrs = self.addr
+            offsets = self.offset
+            takens = self.taken
+            load_kinds = LOAD_KINDS
+            for i in range(len(kinds)):
+                k = kinds[i]
+                if k in load_kinds:
+                    tags.append(1)
+                    s_ips.append(ips[i])
+                    s_a.append(addrs[i])
+                    s_b.append(offsets[i])
+                    loads += 1
+                    if k == KIND_RET:
+                        tags.append(3)
+                        s_ips.append(ips[i])
+                        s_a.append(0)
+                        s_b.append(0)
+                elif k == KIND_BRANCH:
+                    tags.append(0)
+                    s_ips.append(ips[i])
+                    s_a.append(takens[i])
+                    s_b.append(0)
+                elif k == KIND_CALL:
+                    tags.append(2)
+                    s_ips.append(ips[i])
+                    s_a.append(0)
+                    s_b.append(0)
+            self._predictor_stream = PredictorStream(
+                tags, s_ips, s_a, s_b, loads=loads
+            )
+        return self._predictor_stream
+
     def predictor_stream(self) -> List[tuple]:
-        """Compact stream for predictor evaluation.
+        """Compact stream for predictor evaluation (memoised).
 
         Returns a list of tuples in program order:
 
@@ -167,26 +276,12 @@ class Trace:
         A ``ret`` both loads its return address and pops the call path, so
         it contributes a load tuple followed by a return marker.  Events the
         address predictors never observe (plain ALU ops, stores) are
-        dropped.
+        dropped.  Prefer :meth:`predictor_columns` in new code — it carries
+        the same data without allocating one tuple per event.
         """
-        stream: List[tuple] = []
-        kinds = self.kind
-        ips = self.ip
-        addrs = self.addr
-        offsets = self.offset
-        takens = self.taken
-        load_kinds = LOAD_KINDS
-        for i in range(len(kinds)):
-            k = kinds[i]
-            if k in load_kinds:
-                stream.append((1, ips[i], addrs[i], offsets[i]))
-                if k == KIND_RET:
-                    stream.append((3, ips[i], 0, 0))
-            elif k == KIND_BRANCH:
-                stream.append((0, ips[i], takens[i], 0))
-            elif k == KIND_CALL:
-                stream.append((2, ips[i], 0, 0))
-        return stream
+        if self._predictor_tuples is None:
+            self._predictor_tuples = self.predictor_columns().tuples()
+        return self._predictor_tuples
 
     def value_stream(self) -> List[tuple]:
         """Per-load ``(ip, loaded_value)`` pairs, for value prediction.
@@ -236,18 +331,36 @@ class Trace:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: "Path | str") -> None:
-        """Serialise to a compressed ``.npz`` file."""
+        """Serialise to a compressed ``.npz`` file.
+
+        The write is atomic (tmp file + ``os.replace``) so a concurrent
+        reader never observes a torn archive, and the derived predictor
+        stream is persisted as columnar arrays so loads skip the full-trace
+        rescan.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         arrays = {
             col: np.asarray(getattr(self, col), dtype=np.int64)
             for col in _COLUMNS
         }
+        stream = self.predictor_columns()
+        for key, column in zip(
+            _STREAM_COLUMNS, (stream.tag, stream.ip, stream.a, stream.b)
+        ):
+            arrays[key] = np.asarray(column, dtype=np.int64)
         header = json.dumps({"name": self.name, "meta": self.meta})
-        np.savez_compressed(
-            path, header=np.frombuffer(header.encode(), dtype=np.uint8),
-            **arrays,
-        )
+        # The .npz suffix keeps numpy from appending one of its own.
+        tmp = path.with_name(f".{path.stem}.tmp.{os.getpid()}.npz")
+        try:
+            np.savez_compressed(
+                tmp, header=np.frombuffer(header.encode(), dtype=np.uint8),
+                **arrays,
+            )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - error cleanup
+                tmp.unlink()
 
     @classmethod
     def load(cls, path: "Path | str") -> "Trace":
@@ -260,7 +373,34 @@ class Trace:
                     setattr(trace, col, data[col].tolist())
                 else:  # older cache files lack the value column
                     setattr(trace, col, [0] * len(data["kind"]))
+            if all(key in data for key in _STREAM_COLUMNS):
+                trace._predictor_stream = PredictorStream(
+                    data["ps_tag"].tolist(),
+                    data["ps_ip"].tolist(),
+                    data["ps_a"].tolist(),
+                    data["ps_b"].tolist(),
+                )
         return trace
+
+    @classmethod
+    def load_stream(cls, path: "Path | str") -> Optional[PredictorStream]:
+        """Load just the predictor stream from a cache file.
+
+        ``.npz`` members deserialise lazily, so predictor-only consumers
+        (the experiment engine's ``predict`` jobs) skip the nine full event
+        columns and read only the four stream arrays — an order of
+        magnitude less work on a warm cache.  Returns ``None`` for archives
+        written before the stream columns existed.
+        """
+        with np.load(Path(path)) as data:
+            if not all(key in data for key in _STREAM_COLUMNS):
+                return None
+            return PredictorStream(
+                data["ps_tag"].tolist(),
+                data["ps_ip"].tolist(),
+                data["ps_a"].tolist(),
+                data["ps_b"].tolist(),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Trace(name={self.name!r}, events={len(self)})"

@@ -17,10 +17,16 @@ deterministic.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from ..trace.trace import Trace
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+from ..trace.trace import PredictorStream, Trace
 from .arrays import (
     ArraySumWorkload,
     CopyWorkload,
@@ -61,6 +67,7 @@ __all__ = [
     "suite_of",
     "build_workload",
     "get_trace",
+    "get_predictor_stream",
     "suite_traces",
     "all_traces",
     "default_instructions",
@@ -257,8 +264,9 @@ def build_workload(trace_name: str) -> Workload:
 
 
 #: Bumped whenever the trace schema or workload definitions change in a
-#: way that invalidates previously cached traces.
-_CACHE_VERSION = 2
+#: way that invalidates previously cached traces.  v3 added the persisted
+#: columnar predictor-stream arrays.
+_CACHE_VERSION = 3
 
 
 def _cache_dir() -> Path:
@@ -268,12 +276,43 @@ def _cache_dir() -> Path:
     return Path.cwd() / ".trace_cache"
 
 
+@contextmanager
+def _generation_lock(cache_path: Path):
+    """Exclusive advisory lock guarding one cache file's first generation.
+
+    Parallel engine workers resolve traces through this cache; without the
+    lock, N cold-cache workers would each regenerate the same trace.  With
+    it, one worker generates while the rest block and then load the file.
+    ``fcntl`` is Linux/macOS only; where it is unavailable the atomic
+    rename in :meth:`Trace.save` still keeps concurrent generation safe —
+    merely redundant rather than serialised.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = cache_path.with_name(cache_path.name + ".lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield
+    finally:
+        fcntl.flock(fd, fcntl.LOCK_UN)
+        os.close(fd)
+
+
 def get_trace(
     trace_name: str,
     instructions: Optional[int] = None,
     use_cache: bool = True,
 ) -> Trace:
-    """Return the trace, generating (and caching) it on first use."""
+    """Return the trace, generating (and caching) it on first use.
+
+    Safe under concurrent callers (e.g. parallel engine workers hitting a
+    cold cache): first generation runs under an exclusive per-file lock and
+    the cache write is an atomic rename, so every caller observes either a
+    missing file or a complete one.
+    """
     if instructions is None:
         instructions = default_instructions()
     cache_path = (
@@ -281,11 +320,38 @@ def get_trace(
     )
     if use_cache and cache_path.exists():
         return Trace.load(cache_path)
-    workload = build_workload(trace_name)
-    trace = trace_workload(workload, max_instructions=instructions)
-    if use_cache:
+    if not use_cache:
+        workload = build_workload(trace_name)
+        return trace_workload(workload, max_instructions=instructions)
+    with _generation_lock(cache_path):
+        if cache_path.exists():  # another worker generated it while we waited
+            return Trace.load(cache_path)
+        workload = build_workload(trace_name)
+        trace = trace_workload(workload, max_instructions=instructions)
         trace.save(cache_path)
     return trace
+
+
+def get_predictor_stream(
+    trace_name: str,
+    instructions: Optional[int] = None,
+) -> PredictorStream:
+    """Columnar predictor stream for a trace, loaded as cheaply as possible.
+
+    On a warm cache this reads only the four persisted stream arrays from
+    the ``.npz`` (skipping the nine full event columns); on a cold cache it
+    generates the trace through :func:`get_trace` (locked + atomic) first.
+    """
+    if instructions is None:
+        instructions = default_instructions()
+    cache_path = (
+        _cache_dir() / f"{trace_name}_{instructions}_v{_CACHE_VERSION}.npz"
+    )
+    if cache_path.exists():
+        stream = Trace.load_stream(cache_path)
+        if stream is not None:
+            return stream
+    return get_trace(trace_name, instructions).predictor_columns()
 
 
 def suite_traces(suite: str, instructions: Optional[int] = None) -> List[Trace]:
