@@ -10,6 +10,8 @@ Usage (via ``python -m repro``)::
     python -m repro summarize INT_xli         # trace statistics
     python -m repro analyze INT_xli           # Section 2-style load analysis
     python -m repro sweep cap.history_length 1 2 4 8
+    python -m repro verify --fuzz 500 --seed 0   # differential fuzzing
+    python -m repro verify --traces INT_xli      # differential suite replay
 """
 
 from __future__ import annotations
@@ -136,6 +138,105 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from ..verify.differential import VARIANTS
+    from ..verify.fuzz import run_fuzz
+    from ..verify.metamorphic import run_metamorphic_checks
+    from ..verify.fuzz import generate_events
+    from ..verify.regressions import (
+        RegressionCase,
+        load_cases,
+        save_case,
+    )
+
+    for name in args.variants or ():
+        if name not in VARIANTS:
+            print(f"unknown variant {name!r};"
+                  f" choose from {sorted(VARIANTS)}", file=sys.stderr)
+            return 2
+    failed = False
+
+    # 1. Saved regression traces always replay first: they are tiny, and a
+    #    reintroduced bug should be reported by the trace that named it.
+    replay_dir = Path(args.replay) if args.replay else None
+    cases = load_cases(replay_dir)
+    for case in cases:
+        divergence = case.replay()
+        if divergence is not None:
+            failed = True
+            print(f"regression {case.name!r} diverges again:")
+            print(divergence.format())
+    print(f"regressions: {len(cases)} replayed,"
+          f" {sum(1 for c in cases if c.replay() is None)} clean")
+
+    # 2. The differential fuzzer.
+    if args.fuzz:
+        save_dir = Path(args.save_dir) if args.save_dir else None
+        failures = run_fuzz(
+            cases=args.fuzz,
+            seed=args.seed,
+            events_per_case=args.events,
+            variants=args.variants,
+        )
+        for index, failure in enumerate(failures):
+            failed = True
+            print(failure.describe())
+            saved = save_case(
+                RegressionCase(
+                    name=(
+                        f"fuzz-{failure.variant}-seed{args.seed}-{index}"
+                    ),
+                    variant=failure.variant,
+                    events=failure.events,
+                    note=(
+                        f"found by 'verify --fuzz {args.fuzz} --seed"
+                        f" {args.seed}', profile {failure.profile}"
+                    ),
+                ),
+                save_dir,
+            )
+            print(f"minimised trace saved to {saved}")
+        print(f"fuzz: {args.fuzz} cases, {len(failures)} divergence(s)")
+
+    # 3. Metamorphic invariants over a few freshly generated traces.
+    if not args.no_metamorphic:
+        checked = 0
+        for profile in ("rds_walk", "aliasing", "branch_churn", "mixed"):
+            events = generate_events(profile, args.seed, args.events)
+            for message in run_metamorphic_checks(events):
+                failed = True
+                print(f"metamorphic failure on {profile}: {message}")
+            checked += 1
+        print(f"metamorphic: {checked} traces checked")
+
+    # 4. Optional full-suite traces through the engine (parallel-friendly).
+    if args.traces:
+        from .engine import KIND_VERIFY, Job, run_jobs
+
+        if args.jobs is not None:
+            os.environ["REPRO_JOBS"] = str(args.jobs)
+        names = args.variants or ["cap", "stride", "hybrid"]
+        jobs = [
+            Job(trace=trace, kind=KIND_VERIFY, variant=variant,
+                instructions=args.instructions)
+            for trace in args.traces
+            for variant in names
+        ]
+        clean = 0
+        for result in run_jobs(jobs):
+            if result.divergence is None:
+                clean += 1
+            else:
+                failed = True
+                print(f"trace {result.trace} / {result.variant}:")
+                print(result.divergence)
+        print(f"suite traces: {len(jobs)} replays, {clean} clean")
+
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -191,6 +292,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--traces", nargs="+", metavar="NAME")
     sweep_cmd.add_argument("--instructions", type=int, default=None)
     sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: oracle vs stream vs columns",
+    )
+    verify.add_argument("--fuzz", type=int, default=200, metavar="N",
+                        help="fuzz cases to run (0 = skip fuzzing)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="master seed for deterministic fuzzing")
+    verify.add_argument("--events", type=int, default=300, metavar="N",
+                        help="events per fuzzed trace")
+    verify.add_argument("--variants", nargs="+", metavar="NAME",
+                        help="restrict to these differential variants")
+    verify.add_argument("--traces", nargs="+", metavar="NAME",
+                        help="also replay these suite traces differentially")
+    verify.add_argument("--instructions", type=int, default=20000,
+                        help="per-trace budget for --traces replays")
+    verify.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for --traces replays")
+    verify.add_argument("--replay", metavar="DIR", default=None,
+                        help="regression directory (default:"
+                             " tests/regressions)")
+    verify.add_argument("--save-dir", metavar="DIR", default=None,
+                        help="where to save new minimised failures"
+                             " (default: tests/regressions)")
+    verify.add_argument("--no-metamorphic", action="store_true",
+                        help="skip the metamorphic invariant checks")
+    verify.set_defaults(func=_cmd_verify)
 
     return parser
 

@@ -59,6 +59,7 @@ __all__ = [
 
 KIND_PREDICT = "predict"
 KIND_TIMING = "timing"
+KIND_VERIFY = "verify"
 
 
 def _make_stride(**overrides) -> StridePredictor:
@@ -109,6 +110,11 @@ class Job:
     still wraps, matching the immediate-update end of the Figure 11 sweep.
     ``variant`` labels the result for merging; ``capture_selector`` ships
     the hybrid's Figure 8 selector statistics back with the metrics.
+
+    ``kind="verify"`` runs the trace through the three-way differential
+    harness instead of a plain evaluation; there ``variant`` names a
+    :data:`repro.verify.differential.VARIANTS` entry and the result carries
+    a formatted divergence report (or ``None`` when all paths agree).
     """
 
     trace: str
@@ -133,6 +139,8 @@ class JobResult:
     metrics: Optional[PredictorMetrics] = None
     cycles: Optional[int] = None
     selector_stats: Optional[SelectorStats] = None
+    #: Formatted divergence report from a ``verify`` job (None = clean).
+    divergence: Optional[str] = None
 
 
 # Tiny per-process memo for traces and stream columns: drivers emit jobs
@@ -213,6 +221,16 @@ def execute_job(job: Job) -> JobResult:
         return JobResult(
             variant=job.variant, trace=job.trace,
             suite=trace.meta.get("suite", "MISC"), cycles=timing.cycles,
+        )
+    if job.kind == KIND_VERIFY:
+        # Imported lazily: most engine users never touch the verifier.
+        from ..verify.differential import verify_events
+
+        stream = _memoized_stream(job.trace, job.instructions)
+        divergence = verify_events(job.variant, stream.tuples())
+        return JobResult(
+            variant=job.variant, trace=job.trace, suite=_suite_of(job.trace),
+            divergence=None if divergence is None else divergence.format(),
         )
     if job.kind != KIND_PREDICT:
         raise ValueError(f"unknown job kind {job.kind!r}")

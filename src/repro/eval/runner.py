@@ -10,7 +10,7 @@ the Section 5 model without changing this runner.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
 from ..predictors.base import AddressPredictor
 from ..trace.trace import PredictorStream, Trace
@@ -24,6 +24,7 @@ def run_on_stream(
     stream: Iterable[tuple],
     metrics: PredictorMetrics,
     warmup_loads: int = 0,
+    observer: Optional[Callable] = None,
 ) -> PredictorMetrics:
     """Evaluate ``predictor`` over a predictor stream.
 
@@ -34,6 +35,11 @@ def run_on_stream(
     ``warmup_loads`` loads at the start train the predictor without being
     counted (the paper's 30M-instruction traces amortise warm-up; short
     synthetic traces may not).
+
+    ``observer`` (when given) is called as ``observer(ip, offset, actual,
+    prediction)`` for every dynamic load, between prediction and table
+    update — the hook the differential verification harness uses to diff
+    per-access behaviour across evaluation paths.
     """
     predict = predictor.predict
     update = predictor.update
@@ -45,6 +51,8 @@ def run_on_stream(
     for tag, ip, a, b in stream:
         if tag == 1:
             prediction = predict(ip, b)
+            if observer is not None:
+                observer(ip, b, a, prediction)
             seen_loads += 1
             if seen_loads > warmup_loads:
                 metrics.record(
@@ -67,6 +75,7 @@ def run_on_columns(
     stream: PredictorStream,
     metrics: PredictorMetrics,
     warmup_loads: int = 0,
+    observer: Optional[Callable] = None,
 ) -> PredictorMetrics:
     """Columnar fast path: evaluate over a :class:`PredictorStream`.
 
@@ -89,6 +98,8 @@ def run_on_columns(
     for tag, ip, a, b in zip(stream.tag, stream.ip, stream.a, stream.b):
         if tag == 1:
             prediction = predict(ip, b)
+            if observer is not None:
+                observer(ip, b, a, prediction)
             seen_loads += 1
             if seen_loads > warmup_loads:
                 loads += 1

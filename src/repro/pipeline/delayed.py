@@ -113,6 +113,8 @@ class PipelinedPredictor(AddressPredictor):
     def reset(self) -> None:
         self.inner.reset()
         self._queue.clear()
+        self.branch_predictor.reset()
+        self.flushes = 0
 
     @property
     def pending_updates(self) -> int:

@@ -224,3 +224,18 @@ class LinkTable:
     def occupancy(self) -> int:
         """Number of valid links stored."""
         return sum(1 for ways in self._sets for e in ways if e.valid)
+
+    def dump(self) -> List[Tuple[int, int, int, Optional[int], Optional[int]]]:
+        """Architectural contents: ``(set, way, link, tag, pf)`` per valid way.
+
+        Recency stamps and statistics are excluded on purpose — two tables
+        that store the same links are architecturally equal no matter how
+        they got there.  The differential verification harness diffs this
+        against the spec oracle's Link Table.
+        """
+        return [
+            (set_index, way_index, entry.link, entry.tag, entry.pf)
+            for set_index, ways in enumerate(self._sets)
+            for way_index, entry in enumerate(ways)
+            if entry.valid
+        ]

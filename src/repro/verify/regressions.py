@@ -1,0 +1,90 @@
+"""Saved regression traces: minimal diverging cases, replayed forever.
+
+Every divergence the fuzzer (or a developer) finds is shrunk and saved as
+a small JSON file under ``tests/regressions/``.  The pytest suite replays
+every file through the full three-way differential check, so a fixed bug
+stays fixed and the exact trace that exposed it documents the fix.
+
+File format (one JSON object)::
+
+    {
+      "name": "cap-aliasing-lru",
+      "variant": "cap",            # a repro.verify.differential.VARIANTS key
+      "note": "what this trace caught",
+      "events": [[1, 16384, 65536, 8], [0, 16380, 1, 0], ...]
+    }
+
+``events`` rows are predictor-stream quadruples ``(tag, ip, a, b)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .differential import Divergence, verify_events
+
+__all__ = [
+    "RegressionCase",
+    "default_regression_dir",
+    "load_cases",
+    "save_case",
+]
+
+
+def default_regression_dir() -> Path:
+    """``tests/regressions/`` of the repository this package lives in."""
+    return Path(__file__).resolve().parents[3] / "tests" / "regressions"
+
+
+@dataclass
+class RegressionCase:
+    """One checked-in minimal trace."""
+
+    name: str
+    variant: str
+    events: List[List[int]]
+    note: str = ""
+    path: Optional[Path] = field(default=None, repr=False)
+
+    def replay(self) -> Optional[Divergence]:
+        """Run the differential check; ``None`` means the bug stays fixed."""
+        return verify_events(self.variant, self.events)
+
+
+def save_case(
+    case: RegressionCase, directory: Optional[Path] = None
+) -> Path:
+    directory = directory or default_regression_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.json"
+    payload = {
+        "name": case.name,
+        "variant": case.variant,
+        "note": case.note,
+        "events": [list(event) for event in case.events],
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+def load_cases(directory: Optional[Path] = None) -> List[RegressionCase]:
+    """All saved cases, sorted by file name for a stable replay order."""
+    directory = directory or default_regression_dir()
+    cases: List[RegressionCase] = []
+    if not directory.is_dir():
+        return cases
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        cases.append(
+            RegressionCase(
+                name=data["name"],
+                variant=data["variant"],
+                events=[list(event) for event in data["events"]],
+                note=data.get("note", ""),
+                path=path,
+            )
+        )
+    return cases

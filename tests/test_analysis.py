@@ -94,7 +94,40 @@ class TestAnalyzeTrace:
         assert analyze_trace(trace, min_samples=8).profiles == []
 
 
+class TestReporting:
+    def test_class_shares_empty_analysis(self):
+        from repro.analysis.patterns import TraceAnalysis
+
+        assert TraceAnalysis(trace_name="empty", loads=0).class_shares() == {}
+
+    def test_class_shares_sum_to_one(self):
+        trace = trace_workload(ArraySumWorkload(seed=3), max_instructions=10_000)
+        shares = analyze_trace(trace).class_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_profile_str_mentions_class_and_stride(self):
+        p = classify([0x2000 + 16 * i for i in range(20)])
+        text = str(p)
+        assert "stride" in text
+        assert "(16)" in text
+
+    def test_loads_count_includes_unclassified(self):
+        trace = Trace("mix")
+        for i in range(20):
+            trace.append(1, 0x100, addr=0x2000 + 4 * i, offset=0)
+        trace.append(1, 0x200, addr=0x9999, offset=0)  # below MIN_SAMPLES
+        analysis = analyze_trace(trace)
+        assert analysis.loads == 21
+        assert [p.ip for p in analysis.profiles] == [0x100]
+
+
 class TestFingerprint:
+    def test_empty_stream(self):
+        assert fingerprint([]) == ""
+
+    def test_custom_alphabet(self):
+        assert fingerprint([5, 9, 5], alphabet="xy") == "x y x"
+
     def test_paper_style_letters(self):
         assert fingerprint([10, 80, 40, 20, 10, 80]) == "A B C D A B"
 

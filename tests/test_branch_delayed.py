@@ -1,0 +1,228 @@
+"""Tests for the g-share branch predictor and the pipelined (delayed
+update) predictor wrapper."""
+
+import pytest
+
+from repro.pipeline.branch import BranchPredictor, BranchPredictorConfig
+from repro.pipeline.delayed import PipelinedPredictor
+from repro.predictors import StridePredictor
+from repro.predictors.base import AddressPredictor, Prediction
+from repro.predictors.stride import StrideConfig
+
+
+class TestBranchPredictorConfig:
+    def test_defaults(self):
+        config = BranchPredictorConfig()
+        assert config.entries == 4096
+        assert config.history_bits == 12
+
+    def test_entries_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(entries=1000)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(entries=0)
+
+    def test_counter_bits_bounds(self):
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(counter_bits=0)
+        with pytest.raises(ValueError):
+            BranchPredictorConfig(counter_bits=5)
+        BranchPredictorConfig(counter_bits=1)  # boundary: legal
+
+
+class TestBranchPredictor:
+    def test_initial_state_is_weakly_taken(self):
+        bp = BranchPredictor()
+        assert bp.predict(0x1000)
+
+    def test_one_not_taken_flips_a_weak_counter(self):
+        bp = BranchPredictor()
+        # taken=False keeps the history at 0, so the same counter is read.
+        bp.update(0x1000, taken=False)
+        assert not bp.predict(0x1000)
+
+    def test_counters_saturate(self):
+        bp = BranchPredictor(BranchPredictorConfig(counter_bits=2))
+        for _ in range(10):
+            bp.update(0x1000, taken=False)
+        # One taken outcome must not be enough to flip a saturated counter.
+        bp.update(0x1000, taken=True)
+        bp.history = 0
+        assert not bp.predict(0x1000)
+
+    def test_update_returns_correctness_and_counts(self):
+        bp = BranchPredictor()
+        assert bp.update(0x1000, taken=True)        # weakly taken: correct
+        assert not bp.update(0x1000, taken=False)   # whatever it says now
+        assert bp.lookups == 2
+        assert bp.mispredictions >= 1
+
+    def test_gshare_learns_alternating_pattern(self):
+        bp = BranchPredictor()
+        for i in range(400):
+            bp.update(0x2000, taken=bool(i % 2))
+        correct = sum(
+            1 for i in range(400, 600) if bp.update(0x2000, taken=bool(i % 2))
+        )
+        # The two history patterns index distinct, well-trained counters.
+        assert correct == 200
+
+    def test_accuracy_property(self):
+        bp = BranchPredictor()
+        assert bp.accuracy == 0.0
+        for _ in range(10):
+            bp.update(0x3000, taken=True)
+        assert bp.accuracy == 1.0
+
+    def test_reset(self):
+        bp = BranchPredictor()
+        for i in range(50):
+            bp.update(0x4000 + 4 * i, taken=bool(i % 3))
+        bp.reset()
+        assert bp.history == 0
+        assert bp.lookups == 0
+        assert bp.mispredictions == 0
+        assert bp.predict(0x1000)  # back to weakly taken
+
+
+class RecordingPredictor(AddressPredictor):
+    """Inner predictor that records update order for the wrapper tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.speculative_mode = False
+        self.updates = []
+
+    def predict(self, ip, offset):
+        return Prediction()
+
+    def update(self, ip, offset, actual, prediction):
+        self.updates.append((ip, actual))
+
+    def reset(self):
+        super().reset()
+        self.updates = []
+
+
+def _feed(pipelined, ip, actual):
+    prediction = pipelined.predict(ip, 0)
+    pipelined.update(ip, 0, actual, prediction)
+
+
+class TestPipelinedPredictor:
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedPredictor(RecordingPredictor(), -1)
+
+    def test_inner_without_speculative_mode_rejected(self):
+        class Bare(AddressPredictor):
+            def predict(self, ip, offset):
+                return Prediction()
+
+            def update(self, ip, offset, actual, prediction):
+                pass
+
+        with pytest.raises(TypeError):
+            PipelinedPredictor(Bare(), 4)
+
+    def test_speculative_mode_follows_gap(self):
+        inner = RecordingPredictor()
+        PipelinedPredictor(inner, 4)
+        assert inner.speculative_mode
+        inner2 = RecordingPredictor()
+        PipelinedPredictor(inner2, 0)
+        assert not inner2.speculative_mode
+
+    def test_gap_zero_updates_immediately(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 0)
+        _feed(p, 0x1000, 0xA)
+        assert inner.updates == [(0x1000, 0xA)]
+        assert p.pending_updates == 0
+
+    def test_updates_apply_gap_loads_late(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 2)
+        _feed(p, 0x1000, 0xA)
+        _feed(p, 0x1004, 0xB)
+        assert inner.updates == []
+        assert p.pending_updates == 2
+        _feed(p, 0x1008, 0xC)
+        # The oldest resolution lands once gap later loads are in flight.
+        assert inner.updates == [(0x1000, 0xA)]
+        assert p.pending_updates == 2
+
+    def test_flush_drains_queue_in_order(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 4)
+        for i in range(3):
+            _feed(p, 0x1000 + 4 * i, 0x10 * i)
+        p.flush()
+        assert inner.updates == [(0x1000, 0), (0x1004, 0x10), (0x1008, 0x20)]
+        assert p.pending_updates == 0
+
+    def test_branch_mispredict_flushes(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 4)
+        _feed(p, 0x1000, 0xA)
+        # The embedded g-share starts weakly taken, so a not-taken branch
+        # is a guaranteed misprediction -> pipeline redirect.
+        p.on_branch(0x2000, taken=False)
+        assert p.flushes == 1
+        assert inner.updates == [(0x1000, 0xA)]
+        assert p.pending_updates == 0
+
+    def test_correct_branch_does_not_flush(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 4)
+        _feed(p, 0x1000, 0xA)
+        p.on_branch(0x2000, taken=True)
+        assert p.flushes == 0
+        assert p.pending_updates == 1
+
+    def test_branch_flush_disabled(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 4, branch_flush=False)
+        _feed(p, 0x1000, 0xA)
+        p.on_branch(0x2000, taken=False)
+        assert p.flushes == 0
+        assert p.pending_updates == 1
+
+    def test_gap_zero_never_consults_branch_predictor(self):
+        p = PipelinedPredictor(RecordingPredictor(), 0)
+        p.on_branch(0x2000, taken=False)
+        assert p.branch_predictor.lookups == 0
+
+    def test_branch_outcome_still_reaches_inner_ghr(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 2)
+        p.on_branch(0x2000, taken=True)
+        p.on_branch(0x2000, taken=False)
+        assert inner.ghr == 0b10
+        assert p.ghr == 0b10  # routed through to the single source of truth
+
+    def test_name_mentions_gap(self):
+        p = PipelinedPredictor(StridePredictor(StrideConfig(entries=64)), 8)
+        assert p.name.endswith("@gap8")
+
+    def test_reset_clears_all_wrapper_state(self):
+        inner = RecordingPredictor()
+        p = PipelinedPredictor(inner, 2)
+        _feed(p, 0x1000, 0xA)
+        p.on_branch(0x2000, taken=False)   # mispredict: flush + history
+        _feed(p, 0x1004, 0xB)
+        p.reset()
+        assert p.pending_updates == 0
+        assert p.flushes == 0
+        assert p.branch_predictor.lookups == 0
+        assert p.branch_predictor.history == 0
+        assert inner.updates == []
+
+    def test_works_with_real_stride_predictor(self):
+        p = PipelinedPredictor(StridePredictor(StrideConfig(entries=64)), 2)
+        for i in range(32):
+            _feed(p, 0x1000, 0x8000 + 64 * i)
+        p.flush()
+        # After a long strided run the (delayed) tables must have trained.
+        prediction = p.predict(0x1000, 0)
+        assert prediction.made

@@ -9,6 +9,7 @@ import pytest
 from repro.eval import experiments as E
 from repro.eval.engine import (
     FACTORIES,
+    KIND_VERIFY,
     Job,
     build_predictor,
     execute_job,
@@ -157,6 +158,37 @@ class TestSerialParallelIdentity:
             # Per-variant runs keep roster order regardless of completion.
             assert [m.trace for m in parallel_result.runs[variant]] == TRACES
 
+    def test_fig5_result_dicts_byte_identical(self, monkeypatch):
+        """Stronger than tuple equality: the *entire* serialized result —
+        every counter of every per-trace metric plus the per-suite
+        aggregates — must not change with the worker count."""
+        import json
+
+        def snapshot(result):
+            return json.dumps(
+                {
+                    "variants": result.variants,
+                    "runs": {
+                        variant: [vars(m) for m in metrics_list]
+                        for variant, metrics_list in result.runs.items()
+                    },
+                    "suites": {
+                        variant: {
+                            suite: vars(sm.combined)
+                            for suite, sm in per_suite.items()
+                        }
+                        for variant, per_suite in result.suites.items()
+                    },
+                },
+                sort_keys=True,
+            )
+
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = snapshot(E.fig5(traces=TRACES, instructions=INSTR))
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        parallel = snapshot(E.fig5(traces=TRACES, instructions=INSTR))
+        assert serial == parallel
+
     def test_fig12_timing_identical(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "1")
         serial_result = E.fig12(traces=TRACES[:2], instructions=INSTR, gap=4)
@@ -174,6 +206,33 @@ class TestSerialParallelIdentity:
         ]
         results = run_jobs(jobs, max_workers=2)
         assert [r.trace for r in results] == TRACES
+
+
+class TestVerifyJobs:
+    """kind="verify" jobs run the differential harness through the engine."""
+
+    def test_verify_job_executes_clean(self, serial):
+        result = execute_job(Job(
+            trace="INT_xli", kind=KIND_VERIFY, variant="cap",
+            instructions=INSTR,
+        ))
+        assert result.variant == "cap"
+        assert result.suite == "INT"
+        assert result.divergence is None
+        assert result.metrics is None
+
+    def test_verify_jobs_parallelise(self, monkeypatch):
+        jobs = [
+            Job(trace=name, kind=KIND_VERIFY, variant=variant,
+                instructions=INSTR)
+            for name in TRACES[:2]
+            for variant in ("stride", "hybrid")
+        ]
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        results = run_jobs(jobs)
+        assert [(r.trace, r.variant) for r in results] == \
+               [(j.trace, j.variant) for j in jobs]
+        assert all(r.divergence is None for r in results)
 
 
 def _get_trace_worker(args):

@@ -11,6 +11,8 @@ from repro.timing import (
     CacheHierarchy,
     CacheLevel,
     MachineConfig,
+    PrefetchConfig,
+    StridePrefetcher,
     TimingResult,
     simulate,
     speedup,
@@ -67,6 +69,72 @@ class TestCacheHierarchy:
         for addr in range(0x1000, 0x3000, 32):
             h2.access(addr)
         assert h2.access(0x0) == 12            # L1 victim, L2 hit
+
+
+class TestStridePrefetcher:
+    def _hierarchy(self):
+        return CacheHierarchy(l1_latency=3, l2_latency=12, memory_latency=60)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchConfig(degree=0)
+
+    def test_untrained_load_issues_nothing(self):
+        pf = StridePrefetcher()
+        pf.observe(0x1000, 0x8000, self._hierarchy())
+        assert pf.issued == 0
+
+    def test_confident_stride_prefetches_next_lines(self):
+        caches = self._hierarchy()
+        pf = StridePrefetcher(PrefetchConfig(confidence_threshold=2))
+        addrs = [0x8000 + 256 * i for i in range(8)]
+        for addr in addrs:
+            pf.observe(0x1000, addr, caches)
+        assert pf.issued > 0
+        # The next strided line was touched ahead of time: an L1 hit now.
+        assert caches.access(addrs[-1] + 256) == 3
+
+    def test_zero_stride_issues_nothing(self):
+        caches = self._hierarchy()
+        pf = StridePrefetcher()
+        for _ in range(10):
+            pf.observe(0x1000, 0x8000, caches)
+        assert pf.issued == 0
+
+    def test_degree_scales_issue_count(self):
+        def issued_with(degree):
+            caches = self._hierarchy()
+            pf = StridePrefetcher(
+                PrefetchConfig(degree=degree, confidence_threshold=2)
+            )
+            for i in range(12):
+                pf.observe(0x1000, 0x8000 + 64 * i, caches)
+            return pf.issued
+
+        assert issued_with(4) == 4 * issued_with(1)
+
+    def test_prefetch_uses_learned_stride_not_blip(self):
+        """A single irregular access must not redirect the prefetch."""
+        caches = self._hierarchy()
+        pf = StridePrefetcher(PrefetchConfig(confidence_threshold=2))
+        for i in range(8):
+            pf.observe(0x1000, 0x8000 + 256 * i, caches)
+        before = pf.issued
+        # The blip itself arrives while the old stride is still confident:
+        # whatever is issued extends from the blip address by the *learned*
+        # stride (issue happens before training sees the new delta).
+        pf.observe(0x1000, 0x20000, caches)
+        if pf.issued > before:
+            assert caches.access(0x20000 + 256) == 3
+
+    def test_separate_ips_train_independently(self):
+        caches = self._hierarchy()
+        pf = StridePrefetcher(PrefetchConfig(confidence_threshold=2))
+        for i in range(8):
+            pf.observe(0x1000, 0x8000 + 128 * i, caches)
+            pf.observe(0x2000, 0x40000 - 128 * i, caches)
+        assert caches.access(0x8000 + 128 * 8) == 3     # up-stride IP
+        assert caches.access(0x40000 - 128 * 8) == 3    # down-stride IP
 
 
 def make_dependent_chain_trace(n, latency_kind=1):

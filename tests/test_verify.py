@@ -1,0 +1,244 @@
+"""Tests for the differential verification subsystem.
+
+Covers the spec oracles, the three-way differential replay, the fuzzer
+(generation, determinism, shrinking), the metamorphic invariants and the
+``repro verify`` CLI wiring.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.eval.cli import main as cli_main
+from repro.verify import (
+    METAMORPHIC_CHECKS,
+    PROFILES,
+    VARIANTS,
+    generate_events,
+    run_fuzz,
+    run_metamorphic_checks,
+    shrink_events,
+    verify_events,
+)
+from repro.verify.differential import VariantSpec, fuzz_variant_names
+from repro.verify.mutants import MUTANTS
+from repro.verify.oracle import OraclePrediction
+from repro.verify.regressions import load_cases
+
+
+class TestOraclePrediction:
+    def test_made_property(self):
+        assert not OraclePrediction().made
+        assert OraclePrediction(address=0x100).made
+
+
+class TestSpecOracles:
+    def test_stride_oracle_learns_a_stride(self):
+        oracle = VARIANTS["stride"].oracle()
+        hits = 0
+        for i in range(40):
+            addr = 0x8000 + 64 * i
+            prediction = oracle.predict(0x4000, 0)
+            if prediction.speculative and prediction.address == addr:
+                hits += 1
+            oracle.update(0x4000, 0, addr, prediction)
+        assert hits > 30
+
+    def test_cap_oracle_learns_a_ring(self):
+        oracle = VARIANTS["cap"].oracle()
+        ring = [0x10000, 0x10040, 0x100C0, 0x10020]
+        hits = 0
+        for i in range(len(ring) * 20):
+            addr = ring[i % len(ring)]
+            prediction = oracle.predict(0x4000, 0)
+            if prediction.address == addr:
+                hits += 1
+            oracle.update(0x4000, 0, addr, prediction)
+        # After warmup the link table replays the recurring walk.
+        assert hits > len(ring) * 10
+
+    def test_hybrid_oracle_dumps_selector_state(self):
+        oracle = VARIANTS["hybrid"].oracle()
+        for i in range(16):
+            prediction = oracle.predict(0x4000, 0)
+            oracle.update(0x4000, 0, 0x9000 + 8 * i, prediction)
+        dump = oracle.confidence_dump()
+        assert dump, "trained load missing from the confidence dump"
+        for value in dump.values():
+            assert len(value) == 3  # (cap, stride, selector)
+
+
+class TestVariantRegistry:
+    def test_fuzzed_names_are_registered(self):
+        names = fuzz_variant_names()
+        assert names
+        assert set(names) <= set(VARIANTS)
+
+    def test_every_variant_builds_both_sides(self):
+        for spec in VARIANTS.values():
+            production = spec.production()
+            oracle = spec.oracle()
+            assert hasattr(production, "predict")
+            assert hasattr(oracle, "predict")
+
+
+class TestVerifyEvents:
+    @pytest.mark.parametrize("variant,profile", [
+        ("cap", "aliasing"),
+        ("cap-short-history", "rds_walk"),
+        ("stride", "branch_churn"),
+        ("hybrid", "mixed"),
+    ])
+    def test_clean_on_generated_traces(self, variant, profile):
+        events = generate_events(profile, seed=11, count=250)
+        assert verify_events(variant, events) is None
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            verify_events("no-such-variant", [[1, 0x4000, 0, 0]])
+
+    def test_detects_a_planted_bug(self, monkeypatch):
+        """A broken oracle must produce a divergence with a usable report."""
+        real = VARIANTS["cap"]
+        broken = VariantSpec(
+            name="cap-broken",
+            description="cap with a deliberately broken oracle",
+            production=real.production,
+            oracle=MUTANTS["lt-context-after-advance"].build,
+        )
+        monkeypatch.setitem(VARIANTS, "cap-broken", broken)
+        case = {c.name: c for c in load_cases()}["lt-context-after-advance"]
+        divergence = verify_events("cap-broken", case.events)
+        assert divergence is not None
+        assert divergence.variant == "cap-broken"
+        assert divergence.kind in (
+            "access", "metrics", "link_table", "confidence",
+        )
+        report = divergence.format()
+        assert "cap-broken" in report
+        assert divergence.paths in report
+
+
+class TestFuzzGeneration:
+    def test_deterministic_in_seed(self):
+        for profile in PROFILES:
+            assert generate_events(profile, 5, 100) == \
+                   generate_events(profile, 5, 100)
+
+    def test_seeds_vary_the_trace(self):
+        assert generate_events("aliasing", 1, 100) != \
+               generate_events("aliasing", 2, 100)
+
+    def test_events_are_well_formed(self):
+        for profile in PROFILES:
+            events = generate_events(profile, 9, 80)
+            assert len(events) >= 80
+            assert any(event[0] == 1 for event in events)
+            for tag, ip, a, b in events:
+                assert tag in (0, 1, 2, 3)
+                assert 0 <= a < (1 << 32)
+                assert ip >= 0 and b >= 0
+
+
+class TestShrinking:
+    def test_shrinks_to_the_failing_core(self):
+        marker = [1, 0xDEAD, 0x100, 0]
+        noise = [[1, 0x4000 + 4 * i, 8 * i, 0] for i in range(40)]
+        events = noise[:20] + [marker] + noise[20:] + [marker, marker]
+
+        def still_fails(candidate):
+            return sum(1 for e in candidate if e[1] == 0xDEAD) >= 2
+
+        minimal = shrink_events(events, still_fails)
+        assert minimal == [marker, marker]
+
+    def test_respects_check_budget(self):
+        calls = []
+
+        def still_fails(candidate):
+            calls.append(1)
+            return True
+
+        shrink_events([[1, i, 0, 0] for i in range(64)], still_fails,
+                      max_checks=10)
+        assert len(calls) <= 10
+
+
+class TestFuzzLoop:
+    def test_clean_implementation_yields_no_failures(self):
+        assert run_fuzz(cases=12, seed=3, events_per_case=120) == []
+
+    def test_variant_filter(self):
+        assert run_fuzz(cases=4, seed=1, events_per_case=80,
+                        variants=["cap"]) == []
+
+    def test_progress_callback(self):
+        seen = []
+        run_fuzz(cases=3, seed=0, events_per_case=60,
+                 progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestMetamorphic:
+    def test_all_checks_registered(self):
+        assert set(METAMORPHIC_CHECKS) == {
+            "ip_translation",
+            "stride_address_translation",
+            "cfi_relaxation",
+            "pf_relaxation",
+        }
+
+    @pytest.mark.parametrize("profile", ["rds_walk", "mixed"])
+    def test_invariants_hold_on_generated_traces(self, profile):
+        events = generate_events(profile, seed=7, count=200)
+        assert run_metamorphic_checks(events) == []
+
+
+# A compact event-space for the property test: few IPs and addresses so
+# the tables collide constantly, mixed with branch/call/return traffic.
+_ips = st.sampled_from([0x4000 + 4 * i for i in range(6)]
+                       + [0x4000 + 128 * i for i in range(3)])
+_loads = st.builds(
+    lambda ip, addr, offset: [1, ip, addr, offset],
+    _ips,
+    st.sampled_from([0x10000 + 16 * i for i in range(8)] + [0xFFFFFFF0]),
+    st.sampled_from([0, 8, 255, 256]),
+)
+_branches = st.builds(lambda taken: [0, 0x5000, taken, 0],
+                      st.integers(0, 1))
+_calls = st.sampled_from([[2, 0x6000, 0, 0], [3, 0x6004, 0, 0]])
+_traces = st.lists(st.one_of(_loads, _branches, _calls), max_size=60)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events=_traces, variant=st.sampled_from(["cap", "stride", "hybrid"]))
+    def test_three_paths_agree_on_arbitrary_traces(self, events, variant):
+        assert verify_events(variant, events) is None
+
+
+class TestVerifyCLI:
+    def test_verify_subcommand_green_path(self, tmp_path, capsys):
+        code = cli_main([
+            "verify", "--fuzz", "2", "--events", "60", "--seed", "1",
+            "--replay", str(tmp_path / "empty"),
+            "--save-dir", str(tmp_path / "found"),
+            "--no-metamorphic",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "regressions: 0 replayed" in out
+        assert "fuzz: 2 cases, 0 divergence(s)" in out
+        assert not list((tmp_path / "found").glob("*.json"))
+
+    def test_verify_rejects_unknown_variant(self, capsys):
+        code = cli_main(["verify", "--fuzz", "1", "--variants", "bogus"])
+        assert code == 2
+        assert "unknown variant" in capsys.readouterr().err
+
+    def test_verify_replays_checked_in_regressions(self, capsys):
+        code = cli_main(["verify", "--fuzz", "0", "--no-metamorphic"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed" in out
