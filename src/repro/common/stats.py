@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
 
 __all__ = ["RateCounter", "Distribution", "weighted_mean", "geometric_mean"]
 
@@ -43,7 +44,7 @@ class RateCounter:
 class Distribution:
     """A categorical distribution over string-labelled buckets."""
 
-    counts: Counter = field(default_factory=Counter)
+    counts: Counter[str] = field(default_factory=Counter)
 
     def record(self, label: str, weight: int = 1) -> None:
         """Add ``weight`` observations of ``label``."""
@@ -63,7 +64,7 @@ class Distribution:
         total = self.total
         return self.counts[label] / total if total else 0.0
 
-    def fractions(self) -> dict[str, float]:
+    def fractions(self) -> Dict[str, float]:
         """All label shares, in insertion order of the counter."""
         total = self.total
         if not total:
@@ -71,7 +72,7 @@ class Distribution:
         return {label: count / total for label, count in self.counts.items()}
 
 
-def weighted_mean(pairs: Iterable[tuple[float, float]]) -> float:
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> float:
     """Mean of ``(value, weight)`` pairs; 0.0 when weights sum to zero."""
     num = 0.0
     den = 0.0
@@ -85,8 +86,6 @@ def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (used for speedup averaging)."""
     logsum = 0.0
     count = 0
-    import math
-
     for value in values:
         if value <= 0:
             raise ValueError("geometric mean requires positive values")
@@ -99,9 +98,9 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 def merge_rate_maps(
     maps: Iterable[Mapping[str, RateCounter]],
-) -> dict[str, RateCounter]:
+) -> Dict[str, RateCounter]:
     """Merge several ``{label: RateCounter}`` mappings by summation."""
-    merged: dict[str, RateCounter] = {}
+    merged: Dict[str, RateCounter] = {}
     for mapping in maps:
         for label, counter in mapping.items():
             if label not in merged:

@@ -10,7 +10,7 @@ indexing, tag matching, LRU replacement and occupancy statistics only.
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from .bitops import is_power_of_two, log2_exact, mask
 
@@ -60,7 +60,7 @@ class SetAssociativeTable(Generic[E]):
         if not is_power_of_two(self.num_sets):
             raise ValueError("entries/ways must be a power of two")
         self.index_bits = log2_exact(self.num_sets)
-        self._sets: list[list[_Way[E]]] = [
+        self._sets: List[List[_Way[E]]] = [
             [_Way() for _ in range(ways)] for _ in range(self.num_sets)
         ]
         self._clock = 0
@@ -70,7 +70,7 @@ class SetAssociativeTable(Generic[E]):
 
     # -- indexing -------------------------------------------------------
 
-    def _split(self, key: int) -> tuple[int, int]:
+    def _split(self, key: int) -> Tuple[int, int]:
         index = key & mask(self.index_bits)
         tag = key >> self.index_bits
         return index, tag
@@ -128,7 +128,7 @@ class SetAssociativeTable(Generic[E]):
         self.evictions += 1
         return evicted
 
-    def get_or_insert(self, key: int, factory: Callable[[], E]) -> tuple[E, bool]:
+    def get_or_insert(self, key: int, factory: Callable[[], E]) -> Tuple[E, bool]:
         """Return ``(entry, hit)``; on miss create one via ``factory``."""
         found = self.lookup(key)
         if found is not None:
@@ -166,7 +166,7 @@ class SetAssociativeTable(Generic[E]):
         """Number of valid entries currently resident."""
         return sum(1 for ways in self._sets for w in ways if w.valid)
 
-    def __iter__(self) -> Iterator[tuple[int, E]]:
+    def __iter__(self) -> Iterator[Tuple[int, E]]:
         """Yield ``(key, entry)`` for every valid entry."""
         for index, ways in enumerate(self._sets):
             for way in ways:
@@ -199,7 +199,7 @@ class DirectMappedTable(Generic[E]):
             raise ValueError(f"entries must be a power of two, got {entries}")
         self.entries = entries
         self.index_bits = log2_exact(entries)
-        self._slots: list[Optional[E]] = [None] * entries
+        self._slots: List[Optional[E]] = [None] * entries
         self.conflict_writes = 0
 
     def index_of(self, key: int) -> int:
@@ -217,7 +217,7 @@ class DirectMappedTable(Generic[E]):
             self.conflict_writes += 1
         self._slots[index] = entry
 
-    def get_or_insert(self, key: int, factory: Callable[[], E]) -> tuple[E, bool]:
+    def get_or_insert(self, key: int, factory: Callable[[], E]) -> Tuple[E, bool]:
         """Return ``(entry, existed)``; on empty slot create via ``factory``."""
         index = self.index_of(key)
         existing = self._slots[index]
@@ -236,7 +236,7 @@ class DirectMappedTable(Generic[E]):
         """Number of non-empty slots."""
         return sum(1 for slot in self._slots if slot is not None)
 
-    def __iter__(self) -> Iterator[tuple[int, E]]:
+    def __iter__(self) -> Iterator[Tuple[int, E]]:
         """Yield ``(index, entry)`` for every non-empty slot."""
         for index, slot in enumerate(self._slots):
             if slot is not None:

@@ -1,0 +1,107 @@
+"""``python -m repro lint`` — run the simulator-correctness linter.
+
+Usage::
+
+    python -m repro lint                        # lint src/repro
+    python -m repro lint src/repro/predictors   # one package
+    python -m repro lint --rules R001 R003      # rule subset
+    python -m repro lint --format json          # machine-readable
+    python -m repro lint --list-rules           # rule catalogue
+
+Exit status: 0 on a clean tree (no unsuppressed findings, no parse
+errors), 1 otherwise — suitable for CI gating.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .core import all_rules, lint_paths
+from .reporters import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def _default_target() -> Path:
+    """``src/repro`` resolved from this package's own location, so the
+    command works from any working directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by 'repro-lint: disable='",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand from parsed arguments."""
+    if args.list_rules:
+        for rule_id, cls in sorted(all_rules().items()):
+            print(f"{rule_id}  {cls.title}")
+            print(f"      {cls.rationale}")
+        return 0
+
+    if args.paths:
+        targets = [Path(p) for p in args.paths]
+        root: Optional[Path] = None
+    else:
+        targets = [_default_target()]
+        # Anchor finding paths at the repo root (two levels above repro/).
+        root = _default_target().parent.parent
+
+    try:
+        result = lint_paths(targets, rules=args.rules, root=root)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}")
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-based simulator-correctness linter",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    import sys
+
+    sys.exit(main())

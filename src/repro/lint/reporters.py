@@ -1,0 +1,61 @@
+"""Render lint results as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .core import LintResult, all_rules
+
+__all__ = ["render_text", "render_json", "summary_dict"]
+
+
+def summary_dict(result: LintResult) -> Dict[str, object]:
+    """Machine-readable run summary (embedded in the JSON report)."""
+    by_rule: Dict[str, int] = {}
+    for finding in result.active:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "files_checked": result.files_checked,
+        "findings": len(result.active),
+        "suppressed": len(result.suppressed),
+        "errors": list(result.errors),
+        "by_rule": dict(sorted(by_rule.items())),
+        "ok": result.ok,
+    }
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = []
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        lines.append(finding.format())
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    summary = summary_dict(result)
+    lines.append(
+        f"{summary['files_checked']} file(s) checked:"
+        f" {summary['findings']} finding(s),"
+        f" {summary['suppressed']} suppressed"
+    )
+    if result.active:
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in summary["by_rule"].items()
+        )
+        lines.append(f"by rule: {counts}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Full machine-readable report (findings + summary + rule catalogue)."""
+    payload = {
+        "summary": summary_dict(result),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "rules": {
+            rule_id: {"title": cls.title, "rationale": cls.rationale}
+            for rule_id, cls in sorted(all_rules().items())
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,22 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.lint.core.register`); the modules are otherwise
+independent — each holds exactly one rule plus its private helpers.
+"""
+
+from __future__ import annotations
+
+from .reset_completeness import ResetCompletenessRule
+from .determinism import DeterminismRule
+from .bitwidth import BitWidthRule
+from .picklability import PicklabilityRule
+from .parity import StreamColumnsParityRule
+
+__all__ = [
+    "ResetCompletenessRule",
+    "DeterminismRule",
+    "BitWidthRule",
+    "PicklabilityRule",
+    "StreamColumnsParityRule",
+]

@@ -1,0 +1,195 @@
+"""R003 — bit-width hygiene.
+
+Every predictor structure models a fixed-width hardware field: 32-bit
+addresses, ``history_bits``-wide histories, ``tag_bits``-wide tags.
+Python integers are unbounded, so the repo's convention (see
+``common/bitops.py``) is that *all* arithmetic on such fields is masked
+at the point it is produced — ``(base + stride) & _MASK32``,
+``((history << shift) ^ subset) & self._mask``.  An unmasked add or
+shift never crashes; it grows an unbounded integer that indexes tables
+differently from hardware (LDBP and PCAX build on exactly these per-PC
+tables — unmasked arithmetic quietly diverges from their semantics).
+
+The rule scans the packages that model hardware fields —
+``predictors/``, ``pipeline/``, ``timing/`` and ``common/`` (workload
+generators and the functional ISA build addresses under allocator
+bounds, where Python-int semantics are the design).  Within a statement
+that mentions an address-like identifier (``addr``, ``address``,
+``base``, ``history``, ``tag``, ``link``, ``ghr``, ``stride``,
+``delta``, ``offset``), every ``+``/``-``/``<<`` operation must sit
+under a masking context: a ``& mask`` ancestor, a call to one of the
+``bitops`` helpers (``mask``, ``truncate``, ``low_bits``, ``bits``,
+``fold_xor``, ``sign_extend``...), a modulo, or a comparison (computing
+a *predicate* from a difference is fine; *storing* the difference
+unmasked is not).  Identifiers that name geometry or statistics rather
+than field values (``tag_bits``, ``link_writes``, ``tag_mismatches``,
+``history_length``...) are filtered out before the match, so counters
+and configuration arithmetic never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from ..astutil import attr_chain
+from ..core import Finding, ModuleInfo, Rule, parents, register
+
+#: Identifier fragments that mark a statement as address/history/tag math.
+ADDRESS_NAME_RE = re.compile(
+    r"(?:\b|_)(addr|address|base|history|hist|tag|link|ghr|stride|delta"
+    r"|offset)(?:\b|_)",
+    re.IGNORECASE,
+)
+
+#: Identifier fragments that mark *geometry or statistics*, not field
+#: values — an identifier containing one of these never qualifies a
+#: statement for the rule (``tag_bits`` is a width, ``link_writes`` is a
+#: counter, ``history_length`` is a knob).
+GEOMETRY_NAME_RE = re.compile(
+    r"(bits|width|length|size|entries|ways|shift|mask|mode|policy|stats"
+    r"|count|counter|writes|mismatch|reject|lookup|rate|depth|table|fn)",
+    re.IGNORECASE,
+)
+
+#: bitops helpers whose arguments are masked by construction.
+MASKING_CALLS = frozenset(
+    {
+        "mask",
+        "truncate",
+        "low_bits",
+        "high_bits",
+        "bits",
+        "bit_slice",
+        "fold_xor",
+        "sign_extend",
+        "base_of",
+        "addr_of",
+        "min",
+        "max",
+        "len",
+        "range",
+        "abs",
+    }
+)
+
+#: Packages modelling fixed-width hardware fields (rule scope).
+SCOPED_PACKAGES = ("predictors", "pipeline", "timing", "common")
+
+#: Arithmetic operators that can overflow a fixed-width field.
+OVERFLOWING_OPS = (ast.Add, ast.Sub, ast.LShift)
+
+
+def _identifier_names(node: ast.AST) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _is_masked(node: ast.BinOp, stop: ast.AST) -> bool:
+    """Is this arithmetic node dominated by a masking context?
+
+    Walk ancestors up to (and excluding) ``stop``: a ``& ...`` / ``% ...``
+    BinOp, a call to a masking helper, or a comparison all bound the
+    value's width (comparisons *consume* it as a predicate instead).
+    """
+    for ancestor in parents(node):
+        if ancestor is stop:
+            return False
+        if isinstance(ancestor, ast.BinOp) and isinstance(
+            ancestor.op, (ast.BitAnd, ast.Mod)
+        ):
+            return True
+        if isinstance(ancestor, ast.Compare):
+            return True
+        if isinstance(ancestor, ast.Call):
+            chain = attr_chain(ancestor.func)
+            if chain is not None and chain[-1] in MASKING_CALLS:
+                return True
+        if isinstance(ancestor, (ast.stmt, ast.Lambda)):
+            return False
+    return False
+
+
+def _statement_value(
+    statement: ast.stmt,
+) -> Optional[Tuple[ast.AST, ast.AST]]:
+    """(value expression, context node used for the name filter)."""
+    if isinstance(statement, ast.Assign):
+        return statement.value, statement
+    if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+        return statement.value, statement
+    if isinstance(statement, ast.AugAssign):
+        return statement.value, statement
+    if isinstance(statement, ast.Return) and statement.value is not None:
+        return statement.value, statement
+    return None
+
+
+@register
+class BitWidthRule(Rule):
+    id = "R003"
+    title = "bit-width-hygiene"
+    rationale = (
+        "Unmasked address/history/tag arithmetic grows unbounded Python"
+        " integers that index tables differently from the fixed-width"
+        " hardware fields the paper models."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*SCOPED_PACKAGES):
+            return
+        for statement in ast.walk(module.tree):
+            if not isinstance(statement, ast.stmt):
+                continue
+            extracted = _statement_value(statement)
+            if extracted is None:
+                continue
+            value, context = extracted
+            if not any(
+                ADDRESS_NAME_RE.search(name)
+                and not GEOMETRY_NAME_RE.search(name)
+                for name in _identifier_names(context)
+            ):
+                continue
+            # AugAssign of +1-style counters on matched names (pending,
+            # run_length...) never match the filter; a matched AugAssign
+            # like `history <<= 1` has its *operation* outside the value
+            # expression, so check it directly.
+            if isinstance(statement, ast.AugAssign) and isinstance(
+                statement.op, OVERFLOWING_OPS
+            ):
+                yield self.finding(
+                    module,
+                    statement,
+                    f"augmented {type(statement.op).__name__} on an"
+                    f" address-like field without a masking '&'",
+                )
+                continue
+            for node in ast.walk(value):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, OVERFLOWING_OPS
+                ):
+                    if self._trivial(node):
+                        continue
+                    if not _is_masked(node, stop=statement):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"unmasked {type(node.op).__name__} on"
+                            f" address-like value"
+                            f" '{module.segment(node)}'; bound it with"
+                            f" '& mask(width)' (common/bitops)",
+                        )
+
+    @staticmethod
+    def _trivial(node: ast.BinOp) -> bool:
+        """Constant-only arithmetic (``1 << 4``, ``8 - 2``) is geometry,
+        not field math, and cannot grow run-dependent values."""
+        return all(
+            isinstance(operand, ast.Constant)
+            for operand in (node.left, node.right)
+        )

@@ -1,0 +1,100 @@
+"""R004 — engine picklability.
+
+The parallel engine's contract (``eval/engine.py``) is that a ``Job`` is
+a *spec*, not a live object: every field must survive a trip through
+``pickle`` into a ``ProcessPoolExecutor`` worker.  Lambdas, closures and
+classes/functions defined inside a function body are not picklable — a
+``Job`` built with one works fine under ``REPRO_JOBS=1`` and then dies
+(or worse, silently falls back) the first time someone runs the figure
+suite with ``--jobs 4``.
+
+The rule flags, inside any ``Job(...)`` construction:
+
+* inline ``lambda`` expressions anywhere in the arguments;
+* references to names bound to a ``def``/``class``/``lambda`` *inside
+  the enclosing function* (module-level callables pickle by qualified
+  name and are fine — that is exactly why the engine has a ``FACTORIES``
+  registry of names instead of shipping callables).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..core import Finding, ModuleInfo, Rule, parents, register
+from ..astutil import call_name
+
+#: Constructor names treated as engine job payloads.
+JOB_CONSTRUCTORS = frozenset({"Job"})
+
+
+def _local_callable_names(function: ast.FunctionDef) -> Set[str]:
+    """Names bound to defs/classes/lambdas in ``function``'s own body."""
+    names: Set[str] = set()
+    for node in ast.walk(function):
+        if node is function:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _enclosing_function(node: ast.AST) -> ast.FunctionDef:
+    for ancestor in parents(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor  # type: ignore[return-value]
+    return None  # type: ignore[return-value]
+
+
+@register
+class PicklabilityRule(Rule):
+    id = "R004"
+    title = "engine-picklability"
+    rationale = (
+        "Lambdas, closures and local classes in Job payloads break the"
+        " moment the job crosses a ProcessPoolExecutor boundary; jobs"
+        " must be built from picklable data and FACTORIES names."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in JOB_CONSTRUCTORS:
+                continue
+            yield from self._check_job_call(module, node)
+
+    def _check_job_call(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        enclosing = _enclosing_function(call)
+        local_callables = (
+            _local_callable_names(enclosing) if enclosing is not None else set()
+        )
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for argument in arguments:
+            for node in ast.walk(argument):
+                if isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        module,
+                        node,
+                        "lambda inside a Job(...) payload is not"
+                        " picklable; register a factory name instead",
+                    )
+                elif (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in local_callables
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"Job(...) payload references"
+                        f" function-local callable {node.id!r}, which"
+                        f" cannot cross the worker-process boundary",
+                    )

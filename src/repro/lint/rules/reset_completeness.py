@@ -1,0 +1,231 @@
+"""R001 — reset-completeness.
+
+Every mutable attribute a simulator class assigns in ``__init__`` must be
+re-initialized by its ``reset()`` (or ``clear()``) method.  A stale field
+that survives a reset never crashes — it silently couples consecutive
+runs, which is exactly how ``PipelinedPredictor.reset()`` shipped without
+clearing its embedded branch predictor and flush counter (found by PR 3's
+differential fuzzer after hours; found by this rule in milliseconds).
+
+Heuristics, tuned to this repository's idiom:
+
+* An attribute is **mutable state** when, outside ``__init__``/``reset``/
+  ``clear``, the class (a) re-assigns it (plain, augmented, or through a
+  subscript), or (b) calls a known mutating method on it (``append``,
+  ``insert``, ``update``, ``clear``, ``get_or_insert``, ...).  Attributes
+  only *read* after construction (configs, masks, derived geometry) are
+  not state and impose no reset obligation.
+* ``reset()`` covers an attribute by referencing it in any way — plain
+  re-assignment, ``self.x.clear()``, ``self.x.reset()``, or passing it to
+  a helper.  ``super().reset()`` covers inherited attributes, which this
+  per-class analysis never charges for in the first place.
+* A stateful class with **no** ``reset``/``clear`` at all is reported
+  when it lives in the simulator packages (``predictors/``,
+  ``pipeline/``, ``timing/``) or subclasses a ``*Predictor``/
+  ``*Prefetcher`` base — elsewhere a missing reset is an API choice, not
+  a correctness hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..astutil import iter_method_defs, self_attr
+from ..core import Finding, ModuleInfo, Rule, register
+
+#: Method names whose *receiver* is considered mutated by the call.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "setdefault",
+        "get_or_insert",
+        "record",
+        "push",
+        # Repo-specific: table lookups advance LRU/statistics state, a
+        # cache access fills lines, a prefetcher observation trains tables.
+        "lookup",
+        "access",
+        "observe",
+    }
+)
+
+#: Method names accepted as the "forget everything" entry point.
+RESET_NAMES = ("reset", "clear")
+
+#: Packages whose stateful classes *must* expose a reset entry point.
+STATEFUL_PACKAGES = ("predictors", "pipeline", "timing")
+
+#: Base-class name fragments that mark a class as simulator state even
+#: outside the packages above (fixtures and future packages).
+STATEFUL_BASES = ("Predictor", "Prefetcher")
+
+
+def _assigned_attrs(method: ast.FunctionDef) -> Dict[str, int]:
+    """``self.X`` attributes assigned anywhere in ``method`` -> line."""
+    attrs: Dict[str, int] = {}
+    for node in ast.walk(method):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            name = self_attr(target)
+            if name is not None and name not in attrs:
+                attrs[name] = target.lineno
+    return attrs
+
+
+def _mutated_attrs(method: ast.FunctionDef) -> Set[str]:
+    """Attributes of ``self`` this method mutates (writes or mutating calls)."""
+    mutated: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                mutated.update(_mutation_targets(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            mutated.update(_mutation_targets(node.target))
+        elif isinstance(node, ast.Call):
+            mutated.update(_mutating_call_receiver(node))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                name = self_attr(target)
+                if name is not None:
+                    mutated.add(name)
+    return mutated
+
+
+def _mutation_targets(target: ast.AST) -> Set[str]:
+    """Self attributes written by an assignment target.
+
+    Handles ``self.x = ...``, ``self.x[i] = ...`` and tuple unpacking.
+    """
+    found: Set[str] = set()
+    name = self_attr(target)
+    if name is not None:
+        found.add(name)
+        return found
+    if isinstance(target, ast.Subscript):
+        name = self_attr(target.value)
+        if name is not None:
+            found.add(name)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            found.update(_mutation_targets(element))
+    return found
+
+
+def _mutating_call_receiver(call: ast.Call) -> Set[str]:
+    """``{"x"}`` for ``self.x.append(...)``-shaped calls, possibly nested
+    (``self.x.y.record(...)`` charges ``x``: mutating a sub-object means
+    the root attribute holds run-dependent state)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in MUTATING_METHODS:
+        return set()
+    receiver = func.value
+    while isinstance(receiver, ast.Attribute):
+        name = self_attr(receiver)
+        if name is not None:
+            return {name}
+        receiver = receiver.value
+    return set()
+
+
+def _referenced_attrs(method: ast.FunctionDef) -> Set[str]:
+    """Every ``self.X`` mentioned anywhere in ``method``."""
+    referenced: Set[str] = set()
+    for node in ast.walk(method):
+        name = self_attr(node)
+        if name is not None:
+            referenced.add(name)
+    return referenced
+
+
+def _base_names(class_def: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+@register
+class ResetCompletenessRule(Rule):
+    id = "R001"
+    title = "reset-completeness"
+    rationale = (
+        "Mutable state assigned in __init__ but not re-initialized in"
+        " reset() couples consecutive simulator runs — the"
+        " PipelinedPredictor.reset() bug class."
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = {m.name: m for m in iter_method_defs(class_def)}
+        init = methods.get("__init__")
+        if init is None:
+            return  # dataclasses / pure-namespace classes: out of scope
+
+        init_attrs = _assigned_attrs(init)
+        reset: Optional[ast.FunctionDef] = None
+        for name in RESET_NAMES:
+            if name in methods:
+                reset = methods[name]
+                break
+
+        # Attributes mutated after construction, by any method other than
+        # __init__ and the reset entry point itself.
+        mutated: Set[str] = set()
+        for name, method in methods.items():
+            if name == "__init__" or (reset is not None and name == reset.name):
+                continue
+            mutated.update(_mutated_attrs(method))
+        stateful = sorted(mutated & set(init_attrs))
+        if not stateful:
+            return
+
+        if reset is None:
+            if module.in_package(*STATEFUL_PACKAGES) or any(
+                any(fragment in base for fragment in STATEFUL_BASES)
+                for base in _base_names(class_def)
+            ):
+                yield self.finding(
+                    module,
+                    class_def,
+                    f"stateful class defines no reset()/clear():"
+                    f" mutable attribute(s) {', '.join(stateful)} would"
+                    f" leak across runs",
+                    symbol=class_def.name,
+                )
+            return
+
+        covered = _referenced_attrs(reset)
+        missing = [name for name in stateful if name not in covered]
+        if missing:
+            yield self.finding(
+                module,
+                reset,
+                f"{reset.name}() does not re-initialize mutable"
+                f" attribute(s) {', '.join(missing)} assigned in __init__",
+                symbol=f"{class_def.name}.{reset.name}",
+            )

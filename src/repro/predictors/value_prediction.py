@@ -112,6 +112,10 @@ class LastValuePredictor:
             entry.confidence.update(entry.value == actual)
         entry.value = actual
 
+    def reset(self) -> None:
+        """Forget every learned value and confidence."""
+        self.table.clear()
+
 
 class _StrideValueEntry:
     __slots__ = ("last", "stride", "last_delta", "confidence")
@@ -154,6 +158,10 @@ class StrideValuePredictor:
                 entry.stride = delta
             entry.last_delta = delta
         entry.last = actual
+
+    def reset(self) -> None:
+        """Forget every learned value stride and confidence."""
+        self.table.clear()
 
 
 def run_value_predictor(

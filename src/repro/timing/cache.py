@@ -75,6 +75,13 @@ class CacheLevel:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def reset(self) -> None:
+        """Invalidate every line and zero the hit/miss statistics."""
+        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
 
 class CacheHierarchy:
     """L1 + L2 + memory, reporting a latency per access."""
@@ -102,3 +109,8 @@ class CacheHierarchy:
         if self.l2.access(addr):
             return self.l2_latency
         return self.memory_latency
+
+    def reset(self) -> None:
+        """Cold caches: invalidate both levels and their statistics."""
+        self.l1.reset()
+        self.l2.reset()

@@ -77,3 +77,8 @@ class StridePrefetcher:
                 caches.access((addr + i * state.stride) & _MASK32)
                 self.issued += 1
         self.logic.train(state, addr, ghr_at_predict=0, speculated=False)
+
+    def reset(self) -> None:
+        """Forget every trained stride and the issue statistics."""
+        self.table.clear()
+        self.issued = 0

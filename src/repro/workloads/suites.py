@@ -229,7 +229,10 @@ EXTRA_WORKLOADS: Dict[str, Callable[[str, int], Workload]] = {
 
 def default_instructions() -> int:
     """Per-trace instruction budget honouring ``REPRO_TRACE_SCALE``."""
-    scale = float(os.environ.get("REPRO_TRACE_SCALE", "1.0"))
+    # Documented CI knob (docs/performance.md): scales trace *length*, never
+    # trace *content* — the same seed still generates the same events, so a
+    # scaled run is a deterministic prefix of the full one.
+    scale = float(os.environ.get("REPRO_TRACE_SCALE", "1.0"))  # repro-lint: disable=R002
     if scale <= 0:
         raise ValueError("REPRO_TRACE_SCALE must be positive")
     return max(1000, int(DEFAULT_INSTRUCTIONS * scale))
@@ -270,7 +273,10 @@ _CACHE_VERSION = 3
 
 
 def _cache_dir() -> Path:
-    override = os.environ.get("REPRO_TRACE_CACHE")
+    # Documented cache-location knob (CI points it at a tmpfs).  It moves
+    # where identical bytes are stored; cache contents are content-addressed
+    # by (_CACHE_VERSION, trace, instructions), so results cannot change.
+    override = os.environ.get("REPRO_TRACE_CACHE")  # repro-lint: disable=R002
     if override:
         return Path(override)
     return Path.cwd() / ".trace_cache"

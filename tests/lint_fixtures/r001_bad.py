@@ -1,0 +1,39 @@
+"""R001 bad fixture: incomplete and missing ``reset()`` methods.
+
+Never imported — :mod:`tests.test_lint` reads this file's *text* and
+lints it under a virtual ``src/repro/predictors/`` path.
+"""
+
+
+class BasePredictor:
+    pass
+
+
+class LeakyHistoryPredictor(BasePredictor):
+    """``reset()`` forgets ``pending`` — the PR 3 bug shape."""
+
+    def __init__(self, depth):
+        self.depth = depth        # read-only geometry: no reset obligation
+        self.table = {}
+        self.hits = 0
+        self.pending = []
+
+    def update(self, ip, addr):
+        self.table[ip] = addr
+        self.hits += 1
+        self.pending.append(addr)
+
+    def reset(self):
+        self.table = {}
+        self.hits = 0
+        # BUG: self.pending survives the reset.
+
+
+class TrainedNoResetPredictor(BasePredictor):
+    """Stateful simulator class with no reset entry point at all."""
+
+    def __init__(self):
+        self.seen = {}
+
+    def observe(self, ip):
+        self.seen[ip] = True

@@ -1,0 +1,35 @@
+"""R001 good fixture: complete resets and reset-free read-only classes."""
+
+
+class BasePredictor:
+    pass
+
+
+class CompleteResetPredictor(BasePredictor):
+    def __init__(self, depth):
+        self.depth = depth
+        self.table = {}
+        self.hits = 0
+        self.pending = []
+
+    def update(self, ip, addr):
+        self.table[ip] = addr
+        self.hits += 1
+        self.pending.append(addr)
+
+    def reset(self):
+        self.table = {}
+        self.hits = 0
+        self.pending.clear()
+
+
+class GeometryOnly(BasePredictor):
+    """Attributes are assigned once and only *read* afterwards — they are
+    configuration, not state, so no reset is required."""
+
+    def __init__(self, width):
+        self.width = width
+        self.limit = 1 << width
+
+    def covers(self, value):
+        return value < self.limit

@@ -1,0 +1,31 @@
+"""R002 bad fixture: every class of non-determinism the rule knows."""
+
+import os
+import random
+import time
+
+
+def roll_table_index(entries):
+    return random.randrange(entries)  # unseeded global RNG
+
+
+def stamp_result(result):
+    result["when"] = time.time()  # wall-clock read
+    return result
+
+
+def visit_unordered(values):
+    out = []
+    for value in {v for v in values}:  # set iteration: hash order
+        out.append(value)
+    return out
+
+
+def drain_one(cache):
+    return cache.popitem()  # bare popitem: arbitrary entry
+
+
+def read_knob():
+    scale = os.environ["REPRO_SCALE"]  # env read outside eval/
+    fallback = os.getenv("REPRO_OTHER")  # ditto
+    return scale, fallback

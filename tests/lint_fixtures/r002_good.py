@@ -1,0 +1,24 @@
+"""R002 good fixture: the deterministic idioms the rule sanctions."""
+
+import random
+from collections import OrderedDict
+
+
+def roll_table_index(entries, seed):
+    rng = random.Random(seed)  # seeded instance, not the global RNG
+    return rng.randrange(entries)
+
+
+def visit_ordered(values):
+    out = []
+    for value in sorted(set(values)):  # sorted() restores determinism
+        out.append(value)
+    return out
+
+
+def drain_oldest(cache: OrderedDict):
+    return cache.popitem(last=False)  # keyword form is deterministic
+
+
+def read_knob(config):
+    return config.scale  # configuration arrives via parameters

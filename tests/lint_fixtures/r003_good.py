@@ -1,0 +1,25 @@
+"""R003 good fixture: the masked idioms from ``common/bitops``."""
+
+from repro.common.bitops import mask
+
+MASK32 = (1 << 32) - 1
+
+
+def next_address(base, stride):
+    return (base + stride) & MASK32
+
+
+def shift_history(history, bit, history_bits):
+    return ((history << 1) | bit) & mask(history_bits)
+
+
+def strides_match(addr, last_addr, stride):
+    # Computing a *predicate* from a difference is fine: the unbounded
+    # intermediate is consumed by the comparison, never stored.
+    return addr - last_addr == stride
+
+
+def count_mismatches(tag_mismatches, tag_bits):
+    # Geometry/statistics identifiers never qualify a statement.
+    tag_mismatches += 1
+    return tag_mismatches + tag_bits

@@ -1,0 +1,21 @@
+"""R004 bad fixture: unpicklable payloads inside ``Job(...)`` specs."""
+
+
+class Job:
+    """Stand-in for the engine's Job spec (matched by name)."""
+
+    def __init__(self, factory, payload):
+        self.factory = factory
+        self.payload = payload
+
+
+def build_jobs(traces):
+    def local_factory():  # function-local: unpicklable
+        return object()
+
+    scale = lambda x: 2 * x  # noqa: E731 — deliberately bad
+
+    jobs = [Job(factory=lambda: object(), payload=traces[0])]
+    jobs.append(Job(factory=local_factory, payload=traces[0]))
+    jobs.append(Job(factory=scale, payload=traces[0]))
+    return jobs

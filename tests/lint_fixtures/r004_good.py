@@ -1,0 +1,21 @@
+"""R004 good fixture: Jobs built from picklable data and registry names."""
+
+
+class Job:
+    """Stand-in for the engine's Job spec (matched by name)."""
+
+    def __init__(self, factory, payload):
+        self.factory = factory
+        self.payload = payload
+
+
+def module_level_factory():
+    return object()
+
+
+def build_jobs(traces):
+    # Module-level callables pickle by qualified name; string registry
+    # keys (the engine's FACTORIES idiom) are even safer.
+    jobs = [Job(factory=module_level_factory, payload=traces[0])]
+    jobs.append(Job(factory="cap_default", payload=traces[0]))
+    return jobs

@@ -1,0 +1,22 @@
+"""R005 bad fixture: the fast path forgets a predictor behaviour."""
+
+
+def run_on_stream(predictor, stream):
+    correct = 0
+    for ip, addr, is_branch in stream:
+        predicted = predictor.predict(ip)
+        if predicted == addr:
+            correct += 1
+        predictor.update(ip, addr)
+        if is_branch:
+            predictor.on_branch(ip)  # only the reference path does this
+    return correct
+
+
+def run_on_columns(predictor, ips, addrs):
+    correct = 0
+    for i in range(len(ips)):
+        if predictor.predict(ips[i]) == addrs[i]:
+            correct += 1
+        predictor.update(ips[i], addrs[i])
+    return correct

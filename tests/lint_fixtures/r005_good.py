@@ -1,0 +1,23 @@
+"""R005 good fixture: both drivers consult the same predictor surface."""
+
+
+def run_on_stream(predictor, stream):
+    correct = 0
+    for ip, addr, is_branch in stream:
+        if predictor.predict(ip) == addr:
+            correct += 1
+        predictor.update(ip, addr)
+        if is_branch:
+            predictor.on_branch(ip)
+    return correct
+
+
+def run_on_columns(predictor, ips, addrs, branch_flags):
+    correct = 0
+    for i in range(len(ips)):
+        if predictor.predict(ips[i]) == addrs[i]:
+            correct += 1
+        predictor.update(ips[i], addrs[i])
+        if branch_flags[i]:
+            predictor.on_branch(ips[i])
+    return correct
