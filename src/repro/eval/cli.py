@@ -14,6 +14,10 @@ Usage (via ``python -m repro``)::
     python -m repro verify --traces INT_xli      # differential suite replay
     python -m repro lint                         # static-analysis rules
     python -m repro lint --rules R001 --format json
+    python -m repro stats breakdown              # misprediction-cause tables
+    python -m repro stats summarize telemetry/   # run-manifest summary
+    python -m repro stats diff base/ cand/       # flag perf/accuracy drift
+    python -m repro stats validate telemetry/    # schema-check manifests
 """
 
 from __future__ import annotations
@@ -241,6 +245,63 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    # Imported lazily: telemetry.stats pulls in the engine, which the
+    # other subcommands don't need at parse time.
+    from ..telemetry import stats as S
+
+    mode = args.stats_mode
+    if mode == "breakdown":
+        if args.jobs is not None:
+            os.environ["REPRO_JOBS"] = str(args.jobs)
+        if args.traces:
+            traces = args.traces
+        elif args.full:
+            traces = suites.trace_names()
+        else:
+            traces = E.quick_trace_set()
+        result = S.collect_breakdown(
+            traces=traces, instructions=args.instructions,
+        )
+        if args.format == "json":
+            rendered = result.to_json()
+        elif args.format == "csv":
+            rendered = result.to_csv()
+        else:
+            rendered = result.render_text()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(rendered)
+        return 0
+    if mode == "summarize":
+        print(S.summarize_manifests(args.directory))
+        return 0
+    if mode == "validate":
+        problems = S.validate_directory(args.directory)
+        if not problems:
+            print(f"all manifests in {args.directory} validate")
+            return 0
+        for path, errors in problems:
+            print(f"{path}:")
+            for error in errors:
+                print(f"  {error}")
+        return 1
+    if mode == "diff":
+        diff = S.diff_manifests(
+            args.baseline,
+            args.candidate,
+            wall_tolerance=args.wall_tol,
+            accuracy_tolerance=args.acc_tol,
+        )
+        print(diff.render())
+        return 0 if diff.clean else 1
+    print(f"unknown stats mode {mode!r}", file=sys.stderr)
+    return 2
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from ..lint.cli import run_lint_command
 
@@ -330,6 +391,54 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic invariant checks")
     verify.set_defaults(func=_cmd_verify)
+
+    stats = sub.add_parser(
+        "stats",
+        help="attribution breakdowns and run-manifest reporting",
+    )
+    stats_sub = stats.add_subparsers(dest="stats_mode", required=True)
+
+    breakdown = stats_sub.add_parser(
+        "breakdown",
+        help="per-predictor misprediction-cause tables (Figure 10 style)",
+    )
+    breakdown.add_argument("--traces", nargs="+", metavar="NAME",
+                           help="explicit trace names")
+    breakdown.add_argument("--full", action="store_true",
+                           help="use all traces (default: 2 per suite)")
+    breakdown.add_argument("--instructions", type=int, default=None,
+                           help="per-trace dynamic instruction budget")
+    breakdown.add_argument("--format", choices=("text", "json", "csv"),
+                           default="text")
+    breakdown.add_argument("--output", metavar="FILE", default=None,
+                           help="write to FILE instead of stdout")
+    breakdown.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="parallel worker processes")
+    breakdown.set_defaults(func=_cmd_stats)
+
+    summarize_stats = stats_sub.add_parser(
+        "summarize", help="tabulate run manifests from a directory"
+    )
+    summarize_stats.add_argument("directory", metavar="DIR")
+    summarize_stats.set_defaults(func=_cmd_stats)
+
+    diff = stats_sub.add_parser(
+        "diff",
+        help="compare two manifest sets, flag perf/accuracy regressions",
+    )
+    diff.add_argument("baseline", metavar="BASELINE_DIR")
+    diff.add_argument("candidate", metavar="CANDIDATE_DIR")
+    diff.add_argument("--wall-tol", type=float, default=0.25,
+                      help="relative wall-time slowdown tolerance")
+    diff.add_argument("--acc-tol", type=float, default=0.005,
+                      help="absolute accuracy/rate drop tolerance")
+    diff.set_defaults(func=_cmd_stats)
+
+    validate = stats_sub.add_parser(
+        "validate", help="schema-validate run manifests in a directory"
+    )
+    validate.add_argument("directory", metavar="DIR")
+    validate.set_defaults(func=_cmd_stats)
 
     lint = sub.add_parser(
         "lint",

@@ -25,6 +25,7 @@ Design rules:
 from __future__ import annotations
 
 import os
+import platform
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -40,11 +41,14 @@ from ..predictors.gshare_address import (
 from ..predictors.hybrid import HybridConfig, HybridPredictor, SelectorStats
 from ..predictors.last_address import LastAddressConfig, LastAddressPredictor
 from ..predictors.stride import StrideConfig, StridePredictor
+from ..telemetry import manifest as run_manifest
+from ..telemetry.instrumentation import AttributionProbe, instrument_predictor
+from ..telemetry.profiler import maybe_start as maybe_start_profiler
 from ..timing.machine import MachineConfig
 from ..timing.ooo import simulate
 from ..trace.trace import PredictorStream, Trace
 from ..workloads import suites as suite_registry
-from .metrics import PredictorMetrics
+from .metrics import AttributionCounters, PredictorMetrics
 from .runner import run_on_columns
 
 __all__ = [
@@ -115,6 +119,11 @@ class Job:
     harness instead of a plain evaluation; there ``variant`` names a
     :data:`repro.verify.differential.VARIANTS` entry and the result carries
     a formatted divergence report (or ``None`` when all paths agree).
+
+    ``instrument=True`` attaches an attribution probe to the predictor tree
+    and returns :class:`~repro.eval.metrics.AttributionCounters` (a
+    :class:`~repro.eval.metrics.PredictorMetrics` subclass) instead of
+    plain metrics — the backbone of ``python -m repro stats``.
     """
 
     trace: str
@@ -127,6 +136,7 @@ class Job:
     capture_selector: bool = False
     machine: Optional[MachineConfig] = None
     variant: str = ""
+    instrument: bool = False
 
 
 @dataclass
@@ -212,12 +222,24 @@ def build_predictor(job: Job) -> AddressPredictor:
     return predictor
 
 
-def execute_job(job: Job) -> JobResult:
-    """Run one job to completion in the current process."""
+def _execute(job: Job, aux: Dict[str, Any]) -> JobResult:
+    """Run one job in the current process, recording run details in ``aux``.
+
+    ``aux`` receives ``events``/``loads`` counts, the attribution ``probe``
+    (instrumented jobs) and the sampling ``profile`` (when enabled) — the
+    raw material for the job's run manifest.
+    """
     if job.kind == KIND_TIMING:
         trace = _memoized_trace(job.trace, job.instructions)
+        aux["events"] = len(trace)
         predictor = build_predictor(job) if job.factory is not None else None
+        probe = None
+        if job.instrument and predictor is not None:
+            probe = AttributionProbe()
+            aux["probe"] = probe
+            instrument_predictor(predictor, probe)
         timing = simulate(trace, predictor, job.machine)
+        aux["loads"] = timing.loads
         return JobResult(
             variant=job.variant, trace=job.trace,
             suite=trace.meta.get("suite", "MISC"), cycles=timing.cycles,
@@ -227,6 +249,8 @@ def execute_job(job: Job) -> JobResult:
         from ..verify.differential import verify_events
 
         stream = _memoized_stream(job.trace, job.instructions)
+        aux["events"] = len(stream.tag)
+        aux["loads"] = stream.loads
         divergence = verify_events(job.variant, stream.tuples())
         return JobResult(
             variant=job.variant, trace=job.trace, suite=_suite_of(job.trace),
@@ -236,12 +260,32 @@ def execute_job(job: Job) -> JobResult:
         raise ValueError(f"unknown job kind {job.kind!r}")
     suite = _suite_of(job.trace)
     stream = _memoized_stream(job.trace, job.instructions)
+    aux["events"] = len(stream.tag)
+    aux["loads"] = stream.loads
     warmup = int(stream.loads * job.warmup_fraction)
     predictor = build_predictor(job)
-    metrics = PredictorMetrics(
-        name=job.variant or predictor.name, trace=job.trace, suite=suite,
-    )
-    run_on_columns(predictor, stream, metrics, warmup_loads=warmup)
+    metrics: PredictorMetrics
+    probe = None
+    if job.instrument:
+        probe = AttributionProbe()
+        aux["probe"] = probe
+        instrument_predictor(predictor, probe)
+        metrics = AttributionCounters(
+            name=job.variant or predictor.name, trace=job.trace, suite=suite,
+        )
+    else:
+        metrics = PredictorMetrics(
+            name=job.variant or predictor.name, trace=job.trace, suite=suite,
+        )
+    profiler = maybe_start_profiler()
+    try:
+        run_on_columns(predictor, stream, metrics, warmup_loads=warmup)
+    finally:
+        if profiler is not None:
+            aux["profile"] = profiler.stop()
+    if probe is not None:
+        assert isinstance(metrics, AttributionCounters)
+        metrics.absorb_probe(probe)
     selector_stats = None
     if job.capture_selector:
         core = getattr(predictor, "inner", predictor)
@@ -250,6 +294,105 @@ def execute_job(job: Job) -> JobResult:
         variant=job.variant, trace=job.trace, suite=suite,
         metrics=metrics, selector_stats=selector_stats,
     )
+
+
+def _build_manifest(
+    job: Job,
+    result: JobResult,
+    aux: Dict[str, Any],
+    started_wall: float,
+    wall_s: float,
+    cpu_s: float,
+) -> Dict[str, Any]:
+    """Assemble one run-manifest dict (``run_manifest.schema.json``)."""
+    loads = aux.get("loads")
+    probe = aux.get("probe")
+    metrics = result.metrics
+    metrics_record: Optional[Dict[str, Any]] = None
+    if metrics is not None:
+        metrics_record = {
+            "loads": metrics.loads,
+            "predictions": metrics.predictions,
+            "speculative": metrics.speculative,
+            "correct_speculative": metrics.correct_speculative,
+            "correct_predictions": metrics.correct_predictions,
+            "prediction_rate": metrics.prediction_rate,
+            "accuracy": metrics.accuracy,
+            "misprediction_rate": metrics.misprediction_rate,
+            "correct_rate": metrics.correct_rate,
+            "coverage": metrics.coverage,
+        }
+    return {
+        "schema": run_manifest.MANIFEST_SCHEMA_ID,
+        "config_hash": run_manifest.config_hash(job),
+        "job": {
+            "trace": job.trace,
+            "factory": job.factory,
+            "variant": job.variant,
+            "kind": job.kind,
+            "overrides": run_manifest.jsonable(job.overrides),
+            "instructions": job.instructions,
+            "warmup_fraction": job.warmup_fraction,
+            "gap": job.gap,
+            "instrument": job.instrument,
+        },
+        "trace": {
+            "name": job.trace,
+            "suite": result.suite,
+            "events": aux.get("events"),
+            "loads": loads,
+            "cache": run_manifest.file_provenance(
+                suite_registry.trace_cache_path(job.trace, job.instructions)
+            ),
+        },
+        "run": {
+            "started_at": run_manifest.iso_utc(started_wall),
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "loads_per_sec": (
+                loads / wall_s if loads and wall_s > 0 else None
+            ),
+            "peak_rss_kb": run_manifest.peak_rss_kb(),
+            "pid": os.getpid(),
+            "python": platform.python_version(),
+        },
+        "metrics": metrics_record,
+        "cycles": result.cycles,
+        "divergence": result.divergence,
+        "attribution": probe.as_dict() if probe is not None else None,
+        "profile": aux.get("profile"),
+    }
+
+
+def execute_job(job: Job) -> JobResult:
+    """Run one job to completion in the current process.
+
+    Under ``REPRO_TELEMETRY=1`` the run is bracketed with heartbeat lines
+    and a JSON run manifest (config hash, trace provenance, wall/CPU cost,
+    metrics, attribution) is written to the telemetry directory — in
+    worker processes just as in serial runs, since the flag travels
+    through the inherited environment.
+    """
+    if not run_manifest.enabled():
+        return _execute(job, {})
+    label = job.variant or job.factory or job.kind
+    started_wall = run_manifest.wall_clock()
+    started_perf = run_manifest.perf_clock()
+    started_cpu = run_manifest.cpu_clock()
+    run_manifest.heartbeat(
+        f"start kind={job.kind} variant={label} trace={job.trace}"
+    )
+    aux: Dict[str, Any] = {}
+    result = _execute(job, aux)
+    wall_s = run_manifest.perf_clock() - started_perf
+    cpu_s = run_manifest.cpu_clock() - started_cpu
+    manifest = _build_manifest(job, result, aux, started_wall, wall_s, cpu_s)
+    path = run_manifest.write_manifest(manifest)
+    run_manifest.heartbeat(
+        f"done  kind={job.kind} variant={label} trace={job.trace}"
+        f" wall={wall_s:.2f}s manifest={path}"
+    )
+    return result
 
 
 def resolve_jobs(explicit: Optional[int] = None) -> int:
@@ -288,6 +431,8 @@ def run_jobs(
     if workers == 1 or len(job_list) < 2:
         return [execute_job(job) for job in job_list]
     results: List[Optional[JobResult]] = [None] * len(job_list)
+    telemetry_on = run_manifest.enabled()
+    completed = 0
     with ProcessPoolExecutor(max_workers=min(workers, len(job_list))) as pool:
         futures = {
             pool.submit(execute_job, job): index
@@ -295,4 +440,9 @@ def run_jobs(
         }
         for future in as_completed(futures):
             results[futures[future]] = future.result()
+            if telemetry_on:
+                completed += 1
+                run_manifest.heartbeat(
+                    f"progress {completed}/{len(job_list)} jobs complete"
+                )
     return results  # type: ignore[return-value]

@@ -11,10 +11,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Iterable, Optional
 
-__all__ = ["PredictorMetrics", "SuiteMetrics", "aggregate_by_suite"]
+__all__ = [
+    "AttributionCounters",
+    "PredictorMetrics",
+    "SuiteMetrics",
+    "aggregate_by_suite",
+]
+
+#: Dataclass fields that label a metrics object rather than count events.
+_LABEL_FIELDS = ("name", "trace", "suite")
 
 
 @dataclass
@@ -81,12 +89,24 @@ class PredictorMetrics:
     # -- combination ------------------------------------------------------------
 
     def add(self, other: "PredictorMetrics") -> None:
-        """Accumulate another metrics object into this one."""
-        self.loads += other.loads
-        self.predictions += other.predictions
-        self.speculative += other.speculative
-        self.correct_speculative += other.correct_speculative
-        self.correct_predictions += other.correct_predictions
+        """Accumulate another metrics object into this one.
+
+        Generic over dataclass fields, so subclasses that append counter
+        fields (:class:`AttributionCounters`) merge without overriding;
+        counters the other object lacks contribute zero.
+        """
+        for spec in fields(self):
+            if spec.name in _LABEL_FIELDS:
+                continue
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name, 0),
+            )
+
+    def __iadd__(self, other: "PredictorMetrics") -> "PredictorMetrics":
+        self.add(other)
+        return self
 
     def __str__(self) -> str:
         return (
@@ -94,6 +114,52 @@ class PredictorMetrics:
             f"rate={self.prediction_rate:.1%} acc={self.accuracy:.2%} "
             f"({self.speculative}/{self.loads} spec)"
         )
+
+
+@dataclass
+class AttributionCounters(PredictorMetrics):
+    """:class:`PredictorMetrics` extended with attribution counters.
+
+    One integer per telemetry event type, in the canonical order of
+    ``repro.telemetry.instrumentation.ATTRIBUTION_FIELDS`` (a unit test
+    pins the two field lists together; this module deliberately does not
+    import the telemetry package, keeping ``eval`` importable without it).
+    Instances survive the engine's deterministic merge like any other
+    metrics object: :meth:`add` is generic over dataclass fields.
+    """
+
+    lb_misses: int = 0
+    lt_misses: int = 0
+    lt_tag_mismatches: int = 0
+    pf_rejections: int = 0
+    confidence_vetoes: int = 0
+    cfi_vetoes: int = 0
+    interval_stops: int = 0
+    drain_suppressions: int = 0
+    selector_cap: int = 0
+    selector_stride: int = 0
+    catchups_fired: int = 0
+    spec_rollbacks: int = 0
+    cfi_bad_patterns: int = 0
+    pipeline_flushes: int = 0
+
+    def attribution(self) -> Dict[str, int]:
+        """The attribution counters alone, as an ordered plain dict."""
+        base = {spec.name for spec in fields(PredictorMetrics)}
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name not in base
+        }
+
+    def absorb_probe(self, probe: Any) -> None:
+        """Fold an ``AttributionProbe``'s counters into this object.
+
+        Matched by field name, so the probe and this dataclass cannot
+        drift apart silently — a missing attribute raises.
+        """
+        for name in self.attribution():
+            setattr(self, name, getattr(self, name) + getattr(probe, name))
 
 
 @dataclass
@@ -105,9 +171,29 @@ class SuiteMetrics:
     traces: Dict[str, PredictorMetrics] = field(default_factory=dict)
 
     def add(self, metrics: PredictorMetrics) -> None:
-        """Fold one trace's metrics into the suite."""
+        """Fold one trace's metrics into the suite.
+
+        When the incoming metrics are a richer subclass than ``combined``
+        (e.g. :class:`AttributionCounters` folding into a default-built
+        :class:`PredictorMetrics`), ``combined`` is upgraded to that
+        subclass first so no counter is dropped in aggregation.
+        """
         self.traces[metrics.trace] = metrics
+        if not isinstance(self.combined, type(metrics)):
+            upgraded = type(metrics)(
+                name=self.combined.name,
+                trace=self.combined.trace,
+                suite=self.combined.suite,
+            )
+            upgraded.add(self.combined)
+            self.combined = upgraded
         self.combined.add(metrics)
+
+    def __iadd__(self, other: "SuiteMetrics") -> "SuiteMetrics":
+        """Merge another suite aggregation (same suite) into this one."""
+        for metrics in other.traces.values():
+            self.add(metrics)
+        return self
 
 
 def aggregate_by_suite(

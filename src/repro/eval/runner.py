@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Optional, Union
 
 from ..predictors.base import AddressPredictor
 from ..trace.trace import PredictorStream, Trace
-from .metrics import PredictorMetrics
+from .metrics import AttributionCounters, PredictorMetrics
 
 __all__ = ["run_predictor", "run_on_stream", "run_on_columns"]
 
@@ -133,12 +133,18 @@ def run_predictor(
     trace: Union[Trace, PredictorStream, list],
     name: Optional[str] = None,
     warmup_loads: int = 0,
+    instrument: bool = False,
 ) -> PredictorMetrics:
     """Evaluate ``predictor`` on ``trace`` and return fresh metrics.
 
     ``trace`` may be a :class:`Trace` (evaluated through its columnar
     stream), a :class:`PredictorStream`, or an already-extracted list of
     stream tuples (useful when evaluating many predictors over one trace).
+
+    With ``instrument=True`` an attribution probe is attached to the
+    predictor tree and the result is an
+    :class:`~repro.eval.metrics.AttributionCounters` carrying the
+    per-component misprediction-cause breakdown.
     """
     trace_name = ""
     suite = ""
@@ -148,9 +154,30 @@ def run_predictor(
         suite = trace.meta.get("suite", "")
     else:
         stream = trace
-    metrics = PredictorMetrics(
-        name=name or predictor.name, trace=trace_name, suite=suite,
-    )
+    metrics: PredictorMetrics
+    probe = None
+    if instrument:
+        # Imported here: the runner itself stays telemetry-free for the
+        # (overwhelmingly common) uninstrumented path.
+        from ..telemetry.instrumentation import (
+            AttributionProbe,
+            instrument_predictor,
+        )
+
+        probe = AttributionProbe()
+        instrument_predictor(predictor, probe)
+        metrics = AttributionCounters(
+            name=name or predictor.name, trace=trace_name, suite=suite,
+        )
+    else:
+        metrics = PredictorMetrics(
+            name=name or predictor.name, trace=trace_name, suite=suite,
+        )
     if isinstance(stream, PredictorStream):
-        return run_on_columns(predictor, stream, metrics, warmup_loads)
-    return run_on_stream(predictor, stream, metrics, warmup_loads)
+        run_on_columns(predictor, stream, metrics, warmup_loads)
+    else:
+        run_on_stream(predictor, stream, metrics, warmup_loads)
+    if probe is not None:
+        assert isinstance(metrics, AttributionCounters)
+        metrics.absorb_probe(probe)
+    return metrics

@@ -76,8 +76,9 @@ CLOCK_FUNCS = frozenset(
 )
 
 #: Path components in which environment reads are sanctioned (runtime
-#: configuration belongs to the engine/CLI layer).
-ENV_ALLOWED_PACKAGES = ("eval",)
+#: configuration belongs to the engine/CLI layer; telemetry is opt-in via
+#: REPRO_TELEMETRY* switches and never feeds simulated state).
+ENV_ALLOWED_PACKAGES = ("eval", "telemetry")
 
 
 def _is_set_expression(node: ast.AST) -> bool:

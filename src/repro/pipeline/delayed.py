@@ -91,6 +91,8 @@ class PipelinedPredictor(AddressPredictor):
                 # front-end refills, so their updates land before the next
                 # prediction is made.
                 self.flushes += 1
+                if self.probe is not None:
+                    self.probe.pipeline_flush()
                 self.flush()
 
     def on_call(self, ip: int) -> None:

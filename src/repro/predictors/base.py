@@ -20,7 +20,7 @@ The contract mirrors the paper's machine model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from ..common.bitops import mask
 
@@ -93,6 +93,10 @@ class AddressPredictor:
     def __init__(self) -> None:
         self.ghr = 0
         self.call_path: list[int] = []
+        # Attribution sink (telemetry Instrumentation protocol), attached
+        # from the outside by repro.telemetry.instrument_predictor.  Wiring,
+        # not learned state: reset() forgets tables, never the probe.
+        self.probe: Optional[Any] = None
 
     # -- core interface ------------------------------------------------------
 

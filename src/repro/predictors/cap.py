@@ -24,7 +24,7 @@ same component over its shared Load Buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from ..common.bitops import mask
 from ..common.sat_counter import SaturatingCounter
@@ -146,6 +146,8 @@ class CAPComponent:
             drop_low_bits=self.config.drop_low_bits,
         )
         self._offset_mask = mask(self.config.offset_bits)
+        # Attribution sink (attached externally by the telemetry layer).
+        self.probe: Optional[Any] = None
 
     # -- base-address arithmetic (truncated adders, Section 3.3) -----------
 
@@ -215,6 +217,19 @@ class CAPComponent:
             and state.cfi.allows(ghr)
             and not (speculative_mode and state.suppress > 0)
         )
+        if self.probe is not None and not speculative:
+            # Attribute the veto to the first mechanism in the confidence
+            # cascade that withheld speculation, mirroring the short-circuit
+            # order above.  A tag mismatch was already emitted by the Link
+            # Table lookup itself; ``confident``/``allows`` are pure reads,
+            # so re-evaluating them here cannot perturb predictor state.
+            if tag_ok:
+                if not state.confidence.confident:
+                    self.probe.confidence_veto()
+                elif not state.cfi.allows(ghr):
+                    self.probe.cfi_veto()
+                else:
+                    self.probe.drain_suppression()
         return Prediction(
             address=address, speculative=speculative, source="cap", ghr=ghr,
         )
@@ -243,7 +258,9 @@ class CAPComponent:
         if predicted_addr is not None:
             correct = predicted_addr == actual
             state.confidence.update(correct)
-            state.cfi.record(ghr_at_predict, correct, speculated)
+            bad_pattern = state.cfi.record(ghr_at_predict, correct, speculated)
+            if bad_pattern and self.probe is not None:
+                self.probe.cfi_bad_pattern()
 
         value = self._link_value(state, actual)
         if value is not None:
@@ -265,6 +282,8 @@ class CAPComponent:
                 # for context predictors (Section 5.2).
                 state.spec_history = state.history
                 state.suppress = state.pending
+                if self.probe is not None:
+                    self.probe.spec_rollback()
         else:
             state.spec_history = state.history
             state.pending = 0
@@ -293,6 +312,8 @@ class CAPPredictor(AddressPredictor):
     def predict(self, ip: int, offset: int) -> Prediction:
         state = self.load_buffer.lookup(lb_key(ip))
         if state is None:
+            if self.probe is not None:
+                self.probe.lb_miss()
             state = CAPState(self.config, offset)
             if self.speculative_mode:
                 # This very instance is now in flight.

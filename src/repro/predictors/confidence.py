@@ -57,7 +57,7 @@ class ControlFlowIndication:
             return pattern != self._bad_pattern
         return not (self._path_bad >> pattern) & 1
 
-    def record(self, ghr: int, correct: bool, speculated: bool = True) -> None:
+    def record(self, ghr: int, correct: bool, speculated: bool = True) -> bool:
         """Train on a verified prediction made under ``ghr``.
 
         A *bad* pattern is recorded only when a speculative access was
@@ -66,20 +66,26 @@ class ControlFlowIndication:
         at address generation regardless, and without this redemption a
         blocked path could never unblock itself (the speculation needed to
         re-test it is exactly what the filter suppresses).
+
+        Returns True when a bad pattern was recorded (callers surface this
+        as the ``cfi_bad_patterns`` attribution event).
         """
         if self.mode == CFI_OFF:
-            return
+            return False
         pattern = ghr & self._mask
         if self.mode == CFI_LAST:
             if not correct and speculated:
                 self._bad_pattern = pattern
-            elif correct and self._bad_pattern == pattern:
+                return True
+            if correct and self._bad_pattern == pattern:
                 self._bad_pattern = None
         else:
             if correct:
                 self._path_bad &= ~(1 << pattern)
             elif speculated:
                 self._path_bad |= 1 << pattern
+                return True
+        return False
 
     def reset(self) -> None:
         """Forget all recorded patterns."""

@@ -129,6 +129,8 @@ class HybridPredictor(AddressPredictor):
     def predict(self, ip: int, offset: int) -> Prediction:
         entry = self.load_buffer.lookup(lb_key(ip))
         if entry is None:
+            if self.probe is not None:
+                self.probe.lb_miss()
             entry = HybridEntry(self.config, offset)
             if self.speculative_mode:
                 # This very instance is now in flight for both components.
@@ -185,6 +187,8 @@ class HybridPredictor(AddressPredictor):
             self.selector_stats.speculative += 1
             if cap_pred.made and stride_pred.made:
                 self.selector_stats.dual_speculative += 1
+            if self.probe is not None:
+                self.probe.selector_choice(selected)
         return prediction
 
     # -- training -------------------------------------------------------------

@@ -19,7 +19,7 @@ mechanisms live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..common.bitops import bits, mask
 
@@ -106,6 +106,8 @@ class LinkTable:
         self.tag_mismatches = 0
         self.pf_rejections = 0
         self.link_writes = 0
+        # Attribution sink (attached externally by the telemetry layer).
+        self.probe: Optional[Any] = None
 
     # -- field extraction ----------------------------------------------------
 
@@ -136,7 +138,11 @@ class LinkTable:
         tag = self._tag(history)
         if self.config.tag_bits == 0:
             entry = ways[0]
-            return (entry.link, True) if entry.valid else (None, False)
+            if entry.valid:
+                return entry.link, True
+            if self.probe is not None:
+                self.probe.lt_miss()
+            return None, False
         best: Optional[LinkEntry] = None
         for entry in ways:
             if entry.valid and entry.tag == tag:
@@ -144,6 +150,13 @@ class LinkTable:
             if entry.valid and (best is None or entry.stamp > best.stamp):
                 best = entry
         self.tag_mismatches += 1
+        if self.probe is not None:
+            # Attribution: a stored-but-mistagged link is a different cause
+            # than an empty set (no link learned for this context at all).
+            if best is not None:
+                self.probe.lt_tag_mismatch()
+            else:
+                self.probe.lt_miss()
         # No tag match: the most recent link still gives a (low-confidence,
         # non-speculative) prediction, matching the paper's "a prediction is
         # always performed on a LB hit" wording.
@@ -170,6 +183,8 @@ class LinkTable:
         if previous == pf_new:
             return True
         self.pf_rejections += 1
+        if self.probe is not None:
+            self.probe.pf_rejection()
         return False
 
     def update(self, history: int, value: int) -> bool:

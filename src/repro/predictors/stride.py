@@ -19,7 +19,7 @@ Buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from ..common.bitops import mask
 from ..common.sat_counter import SaturatingCounter
@@ -97,6 +97,8 @@ class StrideLogic:
 
     def __init__(self, config: StrideConfig) -> None:
         self.config = config
+        # Attribution sink (attached externally by the telemetry layer).
+        self.probe: Optional[Any] = None
 
     def predict(
         self,
@@ -130,6 +132,18 @@ class StrideLogic:
             # The learned traversal length is exhausted: expect the pattern
             # to break here, so trade a likely misprediction for silence.
             speculative = False
+        if self.probe is not None and not speculative:
+            # Attribute the veto to the first mechanism in the cascade above
+            # that withheld speculation; ``confident``/``allows`` are pure
+            # reads, so re-evaluating them here is side-effect free.
+            if not state.confidence.confident:
+                self.probe.confidence_veto()
+            elif not state.cfi.allows(ghr):
+                self.probe.cfi_veto()
+            elif speculative_mode and state.suppress > 0:
+                self.probe.drain_suppression()
+            else:
+                self.probe.interval_stop()
         if speculative_mode:
             state.spec_last_addr = address
         return Prediction(address=address, speculative=speculative, source="stride")
@@ -169,7 +183,9 @@ class StrideLogic:
         correct = predicted_addr == actual if predicted_addr is not None else None
         if correct is not None:
             state.confidence.update(correct)
-            state.cfi.record(ghr_at_predict, correct, speculated)
+            bad_pattern = state.cfi.record(ghr_at_predict, correct, speculated)
+            if bad_pattern and self.probe is not None:
+                self.probe.cfi_bad_pattern()
             if self.config.use_interval:
                 if correct:
                     state.run_length += 1
@@ -200,6 +216,8 @@ class StrideLogic:
                     actual + state.stride * state.pending
                 ) & _MASK32
                 state.suppress = state.pending
+                if self.probe is not None:
+                    self.probe.catchup_fired()
         else:
             state.spec_last_addr = actual
             state.pending = 0
@@ -226,6 +244,8 @@ class StridePredictor(AddressPredictor):
     def predict(self, ip: int, offset: int) -> Prediction:
         state = self.table.lookup(lb_key(ip))
         if state is None:
+            if self.probe is not None:
+                self.probe.lb_miss()
             state = StrideState(self.config)
             if self.speculative_mode:
                 # This very instance is now in flight.

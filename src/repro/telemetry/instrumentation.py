@@ -1,0 +1,242 @@
+"""Per-component attribution instrumentation (the probe protocol).
+
+The paper explains *why* CAP mispredicts — Load Buffer misses, Link Table
+tag mismatches, low-confidence suppression, PF-bit filtering, hybrid
+selector choice (Sections 4.2-4.5, Figures 9-10) — but aggregate
+prediction/accuracy rates collapse all of those causes into one number.
+This module defines the :class:`Instrumentation` protocol the simulator
+components emit typed attribution events into, plus the counting
+:class:`AttributionProbe` the evaluation engine attaches per job.
+
+Design rule — **zero cost when disabled**: every instrumented component
+holds a ``probe`` attribute that defaults to ``None`` and is only ever
+*read* on its hot path (``if self.probe is not None: ...``), and almost
+every emission site sits on an already-rare branch (a table miss, a veto,
+a rollback), so the common predict/update path pays at most one attribute
+load and ``None`` test per call.  Probes are attached from the outside by
+:func:`instrument_predictor`; predictors themselves never import this
+module, which keeps the simulator layer free of telemetry dependencies.
+
+Event taxonomy (see ``docs/observability.md`` for the full reference):
+
+=====================  =====================================================
+``lb_misses``          load missed the Load Buffer — no per-load state yet
+``lt_misses``          Link Table had no stored link for the history context
+``lt_tag_mismatches``  a link was stored but its tag disagreed (Sec 3.4)
+``pf_rejections``      PF bits blocked a Link Table write (Sec 3.5)
+``confidence_vetoes``  saturating confidence counter withheld speculation
+``cfi_vetoes``         control-flow indication blocked the GHR path (Sec 3.4)
+``interval_stops``     stride interval exhausted — speculation withheld
+``drain_suppressions`` wrong-path instances still draining (Sec 5.2)
+``selector_cap``       hybrid selector routed a speculative access to CAP
+``selector_stride``    hybrid selector routed a speculative access to stride
+``catchups_fired``     stride catch-up extrapolation fired (Sec 5.2)
+``spec_rollbacks``     CAP speculative history repaired after a mispredict
+``cfi_bad_patterns``   a CFI bad-path pattern was recorded
+``pipeline_flushes``   branch redirect drained the pipelined update queue
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol
+
+from ..pipeline.delayed import PipelinedPredictor
+from ..predictors.cap import CAPComponent, CAPPredictor
+from ..predictors.hybrid import HybridPredictor
+from ..predictors.stride import StrideLogic, StridePredictor
+
+__all__ = [
+    "ATTRIBUTION_FIELDS",
+    "AttributionProbe",
+    "Instrumentation",
+    "instrument_predictor",
+]
+
+#: Counter fields every probe carries, in canonical (rendering) order.
+ATTRIBUTION_FIELDS = (
+    "lb_misses",
+    "lt_misses",
+    "lt_tag_mismatches",
+    "pf_rejections",
+    "confidence_vetoes",
+    "cfi_vetoes",
+    "interval_stops",
+    "drain_suppressions",
+    "selector_cap",
+    "selector_stride",
+    "catchups_fired",
+    "spec_rollbacks",
+    "cfi_bad_patterns",
+    "pipeline_flushes",
+)
+
+
+class Instrumentation(Protocol):
+    """Typed attribution events the simulator components emit.
+
+    Implementations must be cheap: events fire from predictor hot paths.
+    """
+
+    def lb_miss(self) -> None:
+        """A dynamic load missed the Load Buffer."""
+
+    def lt_miss(self) -> None:
+        """The Link Table held no link for the history context."""
+
+    def lt_tag_mismatch(self) -> None:
+        """A stored link's tag disagreed with the history's tag bits."""
+
+    def pf_rejection(self) -> None:
+        """The PF filter blocked a Link Table link/tag write."""
+
+    def confidence_veto(self) -> None:
+        """The saturating confidence counter withheld speculation."""
+
+    def cfi_veto(self) -> None:
+        """The control-flow indication blocked this GHR path."""
+
+    def interval_stop(self) -> None:
+        """The stride interval technique withheld speculation."""
+
+    def drain_suppression(self) -> None:
+        """Speculation withheld while wrong-path instances drain."""
+
+    def selector_choice(self, component: str) -> None:
+        """The hybrid routed a speculative access to ``component``."""
+
+    def catchup_fired(self) -> None:
+        """The stride catch-up extrapolation repaired speculative state."""
+
+    def spec_rollback(self) -> None:
+        """CAP's speculative history was repaired after a misprediction."""
+
+    def cfi_bad_pattern(self) -> None:
+        """A CFI bad-path pattern was recorded on a wrong speculation."""
+
+    def pipeline_flush(self) -> None:
+        """A branch redirect drained the pipelined update queue."""
+
+
+class AttributionProbe:
+    """Counting :class:`Instrumentation`: one integer per event type."""
+
+    __slots__ = ATTRIBUTION_FIELDS
+
+    lb_misses: int
+    lt_misses: int
+    lt_tag_mismatches: int
+    pf_rejections: int
+    confidence_vetoes: int
+    cfi_vetoes: int
+    interval_stops: int
+    drain_suppressions: int
+    selector_cap: int
+    selector_stride: int
+    catchups_fired: int
+    spec_rollbacks: int
+    cfi_bad_patterns: int
+    pipeline_flushes: int
+
+    def __init__(self) -> None:
+        for name in ATTRIBUTION_FIELDS:
+            setattr(self, name, 0)
+
+    # -- event sinks --------------------------------------------------------
+
+    def lb_miss(self) -> None:
+        self.lb_misses += 1
+
+    def lt_miss(self) -> None:
+        self.lt_misses += 1
+
+    def lt_tag_mismatch(self) -> None:
+        self.lt_tag_mismatches += 1
+
+    def pf_rejection(self) -> None:
+        self.pf_rejections += 1
+
+    def confidence_veto(self) -> None:
+        self.confidence_vetoes += 1
+
+    def cfi_veto(self) -> None:
+        self.cfi_vetoes += 1
+
+    def interval_stop(self) -> None:
+        self.interval_stops += 1
+
+    def drain_suppression(self) -> None:
+        self.drain_suppressions += 1
+
+    def selector_choice(self, component: str) -> None:
+        if component == "cap":
+            self.selector_cap += 1
+        else:
+            self.selector_stride += 1
+
+    def catchup_fired(self) -> None:
+        self.catchups_fired += 1
+
+    def spec_rollback(self) -> None:
+        self.spec_rollbacks += 1
+
+    def cfi_bad_pattern(self) -> None:
+        self.cfi_bad_patterns += 1
+
+    def pipeline_flush(self) -> None:
+        self.pipeline_flushes += 1
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain (ordered, JSON-able) dict."""
+        return {name: getattr(self, name) for name in ATTRIBUTION_FIELDS}
+
+    def merge(self, other: "AttributionProbe") -> None:
+        """Accumulate another probe's counters into this one."""
+        for name in ATTRIBUTION_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def total_events(self) -> int:
+        """Sum of every counter (a quick 'did anything fire' check)."""
+        return sum(getattr(self, name) for name in ATTRIBUTION_FIELDS)
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"AttributionProbe({nonzero})"
+
+
+def instrument_predictor(predictor: Any, probe: Instrumentation) -> None:
+    """Attach ``probe`` to every instrumented component of ``predictor``.
+
+    Attachment happens from the outside — predictors only carry a
+    ``probe`` attribute initialised to ``None`` — so the simulator layer
+    stays import-free of telemetry and a probe is never part of a
+    predictor's learned state (``reset()`` forgets tables, not wiring).
+
+    Handles the stand-alone CAP/stride predictors, the shared-LB hybrid
+    (both embedded components plus its Link Table), and a
+    :class:`~repro.pipeline.delayed.PipelinedPredictor` wrapper (the probe
+    reaches both the wrapper, for flush events, and the wrapped core).
+    Unknown predictor types get the top-level attribute only, which is
+    harmless: components that never emit never read it.
+    """
+    if isinstance(predictor, PipelinedPredictor):
+        predictor.probe = probe
+        instrument_predictor(predictor.inner, probe)
+        return
+    predictor.probe = probe
+    if isinstance(predictor, CAPPredictor):
+        _instrument_cap_component(predictor.component, probe)
+    elif isinstance(predictor, StridePredictor):
+        predictor.logic.probe = probe
+    elif isinstance(predictor, HybridPredictor):
+        _instrument_cap_component(predictor.cap, probe)
+        predictor.stride_logic.probe = probe
+
+
+def _instrument_cap_component(
+    component: CAPComponent, probe: Instrumentation
+) -> None:
+    component.probe = probe
+    component.link_table.probe = probe

@@ -1,0 +1,422 @@
+"""Reporting backend for ``python -m repro stats``.
+
+Three consumers of the observability layer live here:
+
+* :func:`collect_breakdown` runs an instrumented (variant x trace) grid
+  through the experiment engine and aggregates the per-component
+  attribution counters into a Figure 10-style misprediction-cause
+  breakdown (`BreakdownResult`, rendered as text, JSON or CSV);
+* :func:`summarize_manifests` tabulates a directory of run manifests —
+  the quick "what did that run cost" view;
+* :func:`diff_manifests` compares two manifest sets (baseline vs
+  candidate) and flags wall-clock / throughput / accuracy regressions.
+
+This module sits at the *top* of the import graph: it pulls in the
+experiment engine, so nothing below ``eval`` may import it (the
+``repro.telemetry`` package ``__init__`` deliberately leaves it out).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..eval.engine import Job, run_jobs
+from ..eval.metrics import AttributionCounters
+from ..eval.report import format_percent, format_table
+from ..workloads import suites as suite_registry
+from .instrumentation import ATTRIBUTION_FIELDS
+from .manifest import load_manifests
+from .schema import validate_manifest
+
+__all__ = [
+    "BreakdownResult",
+    "DEFAULT_VARIANTS",
+    "ManifestDiff",
+    "collect_breakdown",
+    "diff_manifests",
+    "summarize_manifests",
+    "validate_directory",
+]
+
+#: The Figure 5 predictor roster: variant label -> (factory, overrides, gap).
+DEFAULT_VARIANTS: Dict[str, Tuple[str, Dict[str, Any], Optional[int]]] = {
+    "stride": ("stride", {}, None),
+    "cap": ("cap", {}, None),
+    "hybrid": ("hybrid", {}, None),
+}
+
+
+# ---------------------------------------------------------------------------
+# Misprediction-cause breakdown
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BreakdownResult:
+    """Aggregated attribution counters for several predictor variants."""
+
+    title: str
+    variants: List[str]
+    #: variant -> counters summed over every trace
+    totals: Dict[str, AttributionCounters] = field(default_factory=dict)
+    #: variant -> per-trace counters (for drill-down / CSV)
+    per_trace: Dict[str, List[AttributionCounters]] = field(
+        default_factory=dict
+    )
+
+    def render_text(self) -> str:
+        """Headline rates plus the per-cause table, like Figure 10."""
+        headline = format_table(
+            ["variant", "loads", "pred rate", "accuracy", "mispred rate"],
+            [
+                [
+                    variant,
+                    total.loads,
+                    format_percent(total.prediction_rate),
+                    format_percent(total.accuracy, 2),
+                    format_percent(total.misprediction_rate, 2),
+                ]
+                for variant, total in self.totals.items()
+            ],
+            title=self.title,
+        )
+        headers = ["cause"]
+        for variant in self.variants:
+            headers += [variant, "/1k loads"]
+        rows: List[List[object]] = []
+        for cause in ATTRIBUTION_FIELDS:
+            row: List[object] = [cause]
+            for variant in self.variants:
+                total = self.totals[variant]
+                count = total.attribution()[cause]
+                per_k = 1000.0 * count / total.loads if total.loads else 0.0
+                row += [count, f"{per_k:.2f}"]
+            rows.append(row)
+        causes = format_table(
+            headers, rows, title="Attribution (event counts)",
+        )
+        return headline + "\n\n" + causes
+
+    def to_json(self) -> str:
+        payload = {
+            "title": self.title,
+            "variants": self.variants,
+            "totals": {
+                variant: _counters_record(total)
+                for variant, total in self.totals.items()
+            },
+            "per_trace": {
+                variant: [_counters_record(c) for c in counters]
+                for variant, counters in self.per_trace.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Wide CSV: one row per (variant, trace) plus an ALL row each."""
+        buffer = io.StringIO()
+        columns = [
+            "variant", "trace", "suite", "loads", "predictions",
+            "speculative", "correct_speculative", "correct_predictions",
+            *ATTRIBUTION_FIELDS,
+        ]
+        writer = csv.DictWriter(buffer, fieldnames=columns)
+        writer.writeheader()
+        for variant in self.variants:
+            for counters in self.per_trace.get(variant, []):
+                writer.writerow(_csv_row(variant, counters))
+            total = self.totals[variant]
+            row = _csv_row(variant, total)
+            row["trace"] = "ALL"
+            row["suite"] = "ALL"
+            writer.writerow(row)
+        return buffer.getvalue()
+
+
+def _counters_record(counters: AttributionCounters) -> Dict[str, Any]:
+    return {
+        "trace": counters.trace,
+        "suite": counters.suite,
+        "loads": counters.loads,
+        "predictions": counters.predictions,
+        "speculative": counters.speculative,
+        "correct_speculative": counters.correct_speculative,
+        "correct_predictions": counters.correct_predictions,
+        "prediction_rate": counters.prediction_rate,
+        "accuracy": counters.accuracy,
+        "misprediction_rate": counters.misprediction_rate,
+        "attribution": counters.attribution(),
+    }
+
+
+def _csv_row(variant: str, counters: AttributionCounters) -> Dict[str, Any]:
+    row: Dict[str, Any] = {
+        "variant": variant,
+        "trace": counters.trace,
+        "suite": counters.suite,
+        "loads": counters.loads,
+        "predictions": counters.predictions,
+        "speculative": counters.speculative,
+        "correct_speculative": counters.correct_speculative,
+        "correct_predictions": counters.correct_predictions,
+    }
+    row.update(counters.attribution())
+    return row
+
+
+def collect_breakdown(
+    traces: Optional[Iterable[str]] = None,
+    instructions: Optional[int] = None,
+    variants: Optional[
+        Dict[str, Tuple[str, Dict[str, Any], Optional[int]]]
+    ] = None,
+    warmup_fraction: float = 0.0,
+) -> BreakdownResult:
+    """Run the instrumented grid and aggregate attribution counters.
+
+    Jobs are emitted trace-outer (cache locality) and executed through
+    :func:`repro.eval.engine.run_jobs`, so the breakdown parallelises
+    under ``REPRO_JOBS`` exactly like the figure suite — the engine's
+    deterministic merge keeps the aggregated counters identical across
+    worker counts.
+    """
+    roster = variants if variants is not None else DEFAULT_VARIANTS
+    trace_names = (
+        list(traces) if traces is not None else suite_registry.trace_names()
+    )
+    jobs = [
+        Job(
+            trace=name,
+            factory=factory,
+            overrides=dict(overrides),
+            instructions=instructions,
+            warmup_fraction=warmup_fraction,
+            gap=gap,
+            variant=variant,
+            instrument=True,
+        )
+        for name in trace_names
+        for variant, (factory, overrides, gap) in roster.items()
+    ]
+    result = BreakdownResult(
+        title="Misprediction-cause breakdown (attribution counters)",
+        variants=list(roster),
+    )
+    totals = {
+        variant: AttributionCounters(name=variant) for variant in roster
+    }
+    per_trace: Dict[str, List[AttributionCounters]] = {
+        variant: [] for variant in roster
+    }
+    for job_result in run_jobs(jobs):
+        metrics = job_result.metrics
+        if not isinstance(metrics, AttributionCounters):
+            raise TypeError(
+                f"instrumented job for {job_result.variant!r} returned"
+                f" {type(metrics).__name__}, expected AttributionCounters"
+            )
+        per_trace[job_result.variant].append(metrics)
+        totals[job_result.variant] += metrics
+    result.totals = totals
+    result.per_trace = per_trace
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Manifest summarising / validation
+# ---------------------------------------------------------------------------
+
+def summarize_manifests(directory: Union[str, Path]) -> str:
+    """One table row per manifest: identity, cost, and headline accuracy."""
+    manifests = load_manifests(directory)
+    if not manifests:
+        return f"no manifests under {directory}"
+    rows: List[List[object]] = []
+    for manifest in manifests:
+        job = manifest.get("job", {})
+        run = manifest.get("run", {})
+        metrics = manifest.get("metrics") or {}
+        loads_per_sec = run.get("loads_per_sec")
+        rows.append([
+            job.get("variant", "?"),
+            job.get("trace", "?"),
+            job.get("kind", "?"),
+            metrics.get("loads", "-"),
+            f"{run.get('wall_s', 0.0):.2f}",
+            f"{loads_per_sec:,.0f}" if loads_per_sec else "-",
+            run.get("peak_rss_kb", "-"),
+            (
+                format_percent(metrics["accuracy"], 2)
+                if "accuracy" in metrics else "-"
+            ),
+        ])
+    return format_table(
+        ["variant", "trace", "kind", "loads", "wall s", "loads/s",
+         "rss KiB", "accuracy"],
+        rows,
+        title=f"{len(manifests)} manifest(s) under {directory}",
+    )
+
+
+def validate_directory(
+    directory: Union[str, Path],
+) -> List[Tuple[str, List[str]]]:
+    """Schema-validate every manifest; returns (path, errors) per failure."""
+    failures: List[Tuple[str, List[str]]] = []
+    for manifest in load_manifests(directory):
+        errors = validate_manifest(manifest)
+        if errors:
+            failures.append((manifest.get("_path", "?"), errors))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Manifest diffing (regression flagging)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ManifestDiff:
+    """Baseline-vs-candidate comparison of two manifest directories."""
+
+    baseline: Union[str, Path]
+    candidate: Union[str, Path]
+    #: one record per matched (variant, trace) pair
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: human-readable regression flags (empty = clean)
+    regressions: List[str] = field(default_factory=list)
+    only_baseline: List[str] = field(default_factory=list)
+    only_candidate: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines: List[str] = []
+        if self.rows:
+            table_rows: List[List[object]] = []
+            for row in self.rows:
+                table_rows.append([
+                    row["variant"],
+                    row["trace"],
+                    _signed_percent(row["wall_ratio"] - 1.0),
+                    _signed_pp(row["accuracy_delta"]),
+                    _signed_pp(row["rate_delta"]),
+                    ",".join(row["flags"]) or "-",
+                ])
+            lines.append(format_table(
+                ["variant", "trace", "wall Δ", "acc Δpp", "rate Δpp",
+                 "flags"],
+                table_rows,
+                title=f"manifest diff: {self.baseline} -> {self.candidate}",
+            ))
+        for name in self.only_baseline:
+            lines.append(f"only in baseline:  {name}")
+        for name in self.only_candidate:
+            lines.append(f"only in candidate: {name}")
+        if self.regressions:
+            lines.append("")
+            lines.append(f"{len(self.regressions)} regression flag(s):")
+            lines.extend(f"  - {item}" for item in self.regressions)
+        else:
+            lines.append("")
+            lines.append("no regressions flagged")
+        return "\n".join(lines)
+
+
+def _signed_percent(value: float) -> str:
+    return f"{value * 100:+.1f}%"
+
+
+def _signed_pp(value: float) -> str:
+    return f"{value * 100:+.2f}"
+
+
+def _index_manifests(
+    directory: Union[str, Path],
+) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    index: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for manifest in load_manifests(directory):
+        job = manifest.get("job", {})
+        key = (str(job.get("variant", "?")), str(job.get("trace", "?")))
+        index[key] = manifest
+    return index
+
+
+def diff_manifests(
+    baseline: Union[str, Path],
+    candidate: Union[str, Path],
+    wall_tolerance: float = 0.25,
+    accuracy_tolerance: float = 0.005,
+) -> ManifestDiff:
+    """Compare two manifest sets, matched by (variant, trace).
+
+    Flags a **perf** regression when the candidate's wall time exceeds
+    the baseline's by more than ``wall_tolerance`` (fractional), and an
+    **accuracy** regression when accuracy or prediction rate drops by
+    more than ``accuracy_tolerance`` (absolute).  A changed config hash
+    is reported as an informational flag, not a regression — a deliberate
+    config change legitimately moves both.
+    """
+    result = ManifestDiff(baseline=baseline, candidate=candidate)
+    base_index = _index_manifests(baseline)
+    cand_index = _index_manifests(candidate)
+    result.only_baseline = [
+        f"{variant}/{trace}"
+        for (variant, trace) in sorted(set(base_index) - set(cand_index))
+    ]
+    result.only_candidate = [
+        f"{variant}/{trace}"
+        for (variant, trace) in sorted(set(cand_index) - set(base_index))
+    ]
+    for key in sorted(set(base_index) & set(cand_index)):
+        variant, trace = key
+        old, new = base_index[key], cand_index[key]
+        old_run, new_run = old.get("run", {}), new.get("run", {})
+        old_metrics = old.get("metrics") or {}
+        new_metrics = new.get("metrics") or {}
+        old_wall = float(old_run.get("wall_s", 0.0))
+        new_wall = float(new_run.get("wall_s", 0.0))
+        wall_ratio = new_wall / old_wall if old_wall > 0 else 1.0
+        accuracy_delta = (
+            float(new_metrics.get("accuracy", 0.0))
+            - float(old_metrics.get("accuracy", 0.0))
+        )
+        rate_delta = (
+            float(new_metrics.get("prediction_rate", 0.0))
+            - float(old_metrics.get("prediction_rate", 0.0))
+        )
+        flags: List[str] = []
+        if wall_ratio > 1.0 + wall_tolerance:
+            flags.append("perf")
+            result.regressions.append(
+                f"{variant}/{trace}: wall {old_wall:.2f}s ->"
+                f" {new_wall:.2f}s ({_signed_percent(wall_ratio - 1.0)})"
+            )
+        if accuracy_delta < -accuracy_tolerance:
+            flags.append("accuracy")
+            result.regressions.append(
+                f"{variant}/{trace}: accuracy"
+                f" {_signed_pp(accuracy_delta)}pp"
+            )
+        if rate_delta < -accuracy_tolerance:
+            flags.append("rate")
+            result.regressions.append(
+                f"{variant}/{trace}: prediction rate"
+                f" {_signed_pp(rate_delta)}pp"
+            )
+        if old.get("config_hash") != new.get("config_hash"):
+            flags.append("config")
+        result.rows.append({
+            "variant": variant,
+            "trace": trace,
+            "wall_ratio": wall_ratio,
+            "accuracy_delta": accuracy_delta,
+            "rate_delta": rate_delta,
+            "flags": flags,
+        })
+    return result

@@ -68,6 +68,7 @@ def simulate(
     predictor: Optional[AddressPredictor] = None,
     config: Optional[MachineConfig] = None,
     prefetcher=None,
+    probe=None,
 ) -> TimingResult:
     """Run the timing model over ``trace``.
 
@@ -75,9 +76,17 @@ def simulate(
     speculative accesses hide ``config.prediction_lead`` cycles of their
     latency, wrong ones pay ``config.recovery_penalty`` extra.  With
     ``prefetcher`` given (see :mod:`repro.timing.prefetch`), every load
-    also trains it and prefetches land in the cache hierarchy.
+    also trains it and prefetches land in the cache hierarchy.  With
+    ``probe`` given (a :class:`repro.telemetry.Instrumentation`), the
+    predictor tree emits attribution events into it while timing runs.
     """
     cfg = config or MachineConfig()
+    if probe is not None and predictor is not None:
+        # Imported lazily: the timing layer stays telemetry-free unless a
+        # probe is actually requested.
+        from ..telemetry.instrumentation import instrument_predictor
+
+        instrument_predictor(predictor, probe)
     caches = CacheHierarchy(
         l1_latency=cfg.l1_latency,
         l2_latency=cfg.l2_latency,

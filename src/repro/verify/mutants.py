@@ -153,7 +153,7 @@ class _EagerCFI(_CFI):
     __slots__ = ()
 
     def record(self, ghr, correct, speculated):
-        super().record(ghr, correct, True)
+        return super().record(ghr, correct, True)
 
 
 class _EagerCFIStrideCore(_StrideCore):

@@ -68,6 +68,7 @@ __all__ = [
     "build_workload",
     "get_trace",
     "get_predictor_stream",
+    "trace_cache_path",
     "suite_traces",
     "all_traces",
     "default_instructions",
@@ -307,6 +308,20 @@ def _generation_lock(cache_path: Path):
         os.close(fd)
 
 
+def trace_cache_path(
+    trace_name: str, instructions: Optional[int] = None
+) -> Path:
+    """On-disk cache file a (trace, instructions) pair resolves to.
+
+    The file may not exist yet (cold cache).  Exposed so the telemetry
+    layer can record cache-file provenance in run manifests without
+    duplicating the naming scheme.
+    """
+    if instructions is None:
+        instructions = default_instructions()
+    return _cache_dir() / f"{trace_name}_{instructions}_v{_CACHE_VERSION}.npz"
+
+
 def get_trace(
     trace_name: str,
     instructions: Optional[int] = None,
@@ -321,9 +336,7 @@ def get_trace(
     """
     if instructions is None:
         instructions = default_instructions()
-    cache_path = (
-        _cache_dir() / f"{trace_name}_{instructions}_v{_CACHE_VERSION}.npz"
-    )
+    cache_path = trace_cache_path(trace_name, instructions)
     if use_cache and cache_path.exists():
         return Trace.load(cache_path)
     if not use_cache:
@@ -350,9 +363,7 @@ def get_predictor_stream(
     """
     if instructions is None:
         instructions = default_instructions()
-    cache_path = (
-        _cache_dir() / f"{trace_name}_{instructions}_v{_CACHE_VERSION}.npz"
-    )
+    cache_path = trace_cache_path(trace_name, instructions)
     if cache_path.exists():
         stream = Trace.load_stream(cache_path)
         if stream is not None:

@@ -5,10 +5,16 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.stats import Distribution, RateCounter, geometric_mean, weighted_mean
-from repro.eval.metrics import PredictorMetrics, aggregate_by_suite
-from repro.eval.runner import run_on_stream, run_predictor
+from repro.eval.metrics import (
+    AttributionCounters,
+    PredictorMetrics,
+    SuiteMetrics,
+    aggregate_by_suite,
+)
+from repro.eval.runner import run_on_columns, run_on_stream, run_predictor
 from repro.predictors import LastAddressPredictor
 from repro.predictors.base import AddressPredictor, Prediction
+from repro.trace.trace import PredictorStream
 
 
 class TestPredictorMetrics:
@@ -38,6 +44,31 @@ class TestPredictorMetrics:
         a.add(b)
         assert a.loads == 20
         assert a.prediction_rate == pytest.approx(0.3)
+
+    def test_iadd_merges_in_place(self):
+        a = PredictorMetrics(name="p", loads=10, speculative=5,
+                             correct_speculative=4)
+        b = PredictorMetrics(loads=2, speculative=2, correct_speculative=1)
+        merged = a
+        merged += b
+        assert merged is a
+        assert a.loads == 12
+        assert a.correct_speculative == 5
+        assert a.name == "p"  # labels never merge
+
+    def test_zero_loads_rates_are_zero(self):
+        m = PredictorMetrics(speculative=0, loads=0)
+        assert m.prediction_rate == 0.0
+        assert m.accuracy == 0.0
+        assert m.misprediction_rate == 0.0
+        assert m.correct_rate == 0.0
+        assert m.coverage == 0.0
+
+    def test_add_accepts_plain_metrics_into_attribution(self):
+        rich = AttributionCounters(loads=5, lb_misses=3)
+        rich.add(PredictorMetrics(loads=2))
+        assert rich.loads == 7
+        assert rich.lb_misses == 3  # missing counters contribute zero
 
     @given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()),
                     max_size=200))
@@ -74,6 +105,24 @@ class TestAggregation:
         ]
         avg = aggregate_by_suite(runs)["Average"].combined
         assert avg.prediction_rate == pytest.approx(0.75)
+
+    def test_combined_upgrades_to_attribution_counters(self):
+        suite = SuiteMetrics(suite="INT")
+        suite.add(PredictorMetrics(trace="a", suite="INT", loads=10))
+        suite.add(AttributionCounters(trace="b", suite="INT", loads=5,
+                                      lb_misses=2))
+        assert isinstance(suite.combined, AttributionCounters)
+        assert suite.combined.loads == 15
+        assert suite.combined.lb_misses == 2
+
+    def test_suite_iadd_merges_traces(self):
+        left = SuiteMetrics(suite="INT")
+        left.add(PredictorMetrics(trace="a", suite="INT", loads=10))
+        right = SuiteMetrics(suite="INT")
+        right.add(PredictorMetrics(trace="b", suite="INT", loads=7))
+        left += right
+        assert set(left.traces) == {"a", "b"}
+        assert left.combined.loads == 17
 
 
 class TestStatsHelpers:
@@ -167,3 +216,61 @@ class TestRunner:
         assert metrics.trace == "x"
         assert metrics.suite == "INT"
         assert metrics.loads == 1
+
+    def test_instrumented_run_returns_attribution_counters(self):
+        stream = [(1, 0x100, 0x2000 + 8 * i, 0) for i in range(20)]
+        metrics = run_predictor(
+            LastAddressPredictor(), stream, instrument=True
+        )
+        assert isinstance(metrics, AttributionCounters)
+        assert metrics.loads == 20
+
+
+class TestObserverParity:
+    """The observer hook must fire identically on both evaluation paths."""
+
+    #: mixed stream: loads, a branch, a call and a return interleaved
+    EVENTS = [
+        (1, 0x100, 0x2000, 4),
+        (0, 0x200, 1, 0),
+        (1, 0x104, 0x2008, 4),
+        (2, 0x300, 0, 0),
+        (1, 0x100, 0x2010, 4),
+        (0, 0x200, 0, 0),
+        (3, 0x304, 0, 0),
+        (1, 0x104, 0x2018, 4),
+    ]
+
+    def _drive(self, runner, stream):
+        calls = []
+        predictor = LastAddressPredictor()
+        runner(
+            predictor, stream, PredictorMetrics(),
+            observer=lambda ip, b, a, prediction: calls.append(
+                (ip, b, a, prediction.made, prediction.address)
+            ),
+        )
+        return calls
+
+    def test_identical_call_sequences(self):
+        columns = PredictorStream(
+            tag=[e[0] for e in self.EVENTS],
+            ip=[e[1] for e in self.EVENTS],
+            a=[e[2] for e in self.EVENTS],
+            b=[e[3] for e in self.EVENTS],
+            loads=sum(1 for e in self.EVENTS if e[0] == 1),
+        )
+        via_stream = self._drive(run_on_stream, list(self.EVENTS))
+        via_columns = self._drive(run_on_columns, columns)
+        assert via_stream == via_columns
+        assert len(via_stream) == 4  # one call per dynamic load only
+
+    def test_observer_sees_prediction_before_update(self):
+        stream = [(1, 0x100, 0x2000, 0), (1, 0x100, 0x2000, 0)]
+        seen = []
+        run_on_stream(
+            LastAddressPredictor(), stream, PredictorMetrics(),
+            observer=lambda ip, b, a, p: seen.append(p.made),
+        )
+        # First load: table is still empty at observation time.
+        assert seen == [False, True]

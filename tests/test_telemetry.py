@@ -1,0 +1,413 @@
+"""Instrumentation layer: probes, manifests, schema, profiler, stats.
+
+The load-bearing property is R005-style parity: an instrumented predictor
+must report byte-identical attribution counters whether it is driven by
+``run_on_stream``, ``run_on_columns``, or the engine (serial or pooled).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.eval.engine import FACTORIES, Job, execute_job, run_jobs
+from repro.eval.metrics import AttributionCounters, PredictorMetrics
+from repro.eval.runner import run_predictor
+from repro.pipeline.delayed import PipelinedPredictor
+from repro.telemetry import (
+    ATTRIBUTION_FIELDS,
+    AttributionProbe,
+    instrument_predictor,
+)
+from repro.telemetry import manifest as run_manifest
+from repro.telemetry import profiler
+from repro.telemetry.schema import load_schema, validate, validate_manifest
+from repro.trace.event import KIND_BRANCH, KIND_CALL, KIND_LOAD, KIND_RET
+from repro.trace.trace import Trace
+
+TRACE = "INT_xli"
+INSTR = 8000
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY_PROFILE", raising=False)
+
+
+def _mixed_trace(events=3000, seed=7):
+    """Loads (strided + correlated + noisy), branches, calls, returns."""
+    rng = random.Random(seed)
+    trace = Trace("mixed", meta={"suite": "TEST"})
+    stride_addr = 0x10000
+    ring = [0x20000 + 64 * i for i in range(5)]
+    depth = 0
+    for i in range(events):
+        roll = rng.random()
+        if roll < 0.45:
+            stride_addr += 16
+            trace.append(KIND_LOAD, 0x400, addr=stride_addr, offset=4)
+        elif roll < 0.65:
+            trace.append(KIND_LOAD, 0x404, addr=ring[i % len(ring)], offset=8)
+        elif roll < 0.75:
+            trace.append(
+                KIND_LOAD, 0x408, addr=rng.randrange(2**28) * 4, offset=12
+            )
+        elif roll < 0.90:
+            trace.append(KIND_BRANCH, 0x500 + 4 * (i % 7),
+                         taken=int(rng.random() < 0.6))
+        elif roll < 0.95 or depth == 0:
+            trace.append(KIND_CALL, 0x600, addr=0x7F00 + depth)
+            depth += 1
+        else:
+            trace.append(KIND_RET, 0x604, addr=0x7F00 + depth)
+            depth -= 1
+    return trace
+
+
+def _variants():
+    yield "stride", lambda: FACTORIES["stride"]()
+    yield "cap", lambda: FACTORIES["cap"]()
+    yield "hybrid", lambda: FACTORIES["hybrid"]()
+    yield "hybrid_gap4", lambda: PipelinedPredictor(FACTORIES["hybrid"](), 4)
+
+
+class TestAttributionProbe:
+    def test_fields_pin_counters_dataclass(self):
+        # The probe's field list and AttributionCounters' extra fields are
+        # maintained by hand in two modules; this is the drift alarm.
+        assert tuple(AttributionCounters().attribution()) == ATTRIBUTION_FIELDS
+
+    def test_events_increment_their_field(self):
+        probe = AttributionProbe()
+        probe.lb_miss()
+        probe.lt_tag_mismatch()
+        probe.selector_choice("cap")
+        probe.selector_choice("stride")
+        probe.selector_choice("stride")
+        counts = probe.as_dict()
+        assert counts["lb_misses"] == 1
+        assert counts["lt_tag_mismatches"] == 1
+        assert counts["selector_cap"] == 1
+        assert counts["selector_stride"] == 2
+        assert probe.total_events() == 5
+
+    def test_merge_sums_fields(self):
+        a, b = AttributionProbe(), AttributionProbe()
+        a.pf_rejection()
+        b.pf_rejection()
+        b.confidence_veto()
+        a.merge(b)
+        assert a.pf_rejections == 2
+        assert a.confidence_vetoes == 1
+
+    def test_absorb_probe_matches_by_name(self):
+        probe = AttributionProbe()
+        probe.catchup_fired()
+        counters = AttributionCounters()
+        counters.absorb_probe(probe)
+        counters.absorb_probe(probe)
+        assert counters.catchups_fired == 2
+
+
+class TestInstrumentWiring:
+    def test_cap_tree_shares_one_probe(self):
+        predictor = FACTORIES["cap"]()
+        probe = AttributionProbe()
+        instrument_predictor(predictor, probe)
+        assert predictor.probe is probe
+        assert predictor.component.probe is probe
+        assert predictor.component.link_table.probe is probe
+
+    def test_hybrid_tree_shares_one_probe(self):
+        predictor = FACTORIES["hybrid"]()
+        probe = AttributionProbe()
+        instrument_predictor(predictor, probe)
+        assert predictor.probe is probe
+        assert predictor.stride_logic.probe is probe
+
+    def test_pipelined_wrapper_recurses(self):
+        predictor = PipelinedPredictor(FACTORIES["cap"](), 4)
+        probe = AttributionProbe()
+        instrument_predictor(predictor, probe)
+        assert predictor.probe is probe
+        assert predictor.inner.probe is probe
+
+    def test_reset_keeps_the_probe_attached(self):
+        predictor = FACTORIES["cap"]()
+        probe = AttributionProbe()
+        instrument_predictor(predictor, probe)
+        predictor.reset()
+        assert predictor.component.link_table.probe is probe
+
+    def test_uninstrumented_probe_stays_none(self):
+        predictor = FACTORIES["hybrid"]()
+        run_predictor(predictor, _mixed_trace(500))
+        assert predictor.probe is None
+
+
+class TestCounterParity:
+    @pytest.mark.parametrize(
+        "name", [name for name, _ in _variants()]
+    )
+    def test_stream_and_columns_agree(self, name):
+        build = dict(_variants())[name]
+        trace = _mixed_trace()
+        columns = trace.predictor_columns()
+        tuples = list(columns.tuples())
+        via_columns = run_predictor(build(), columns, instrument=True)
+        via_stream = run_predictor(build(), tuples, instrument=True)
+        assert via_columns.attribution() == via_stream.attribution()
+        assert via_columns.loads == via_stream.loads
+        assert via_columns.speculative == via_stream.speculative
+        assert any(via_columns.attribution().values())
+
+    def test_engine_serial_vs_pool_identical(self, monkeypatch):
+        jobs = [
+            Job(trace=TRACE, factory=name, variant=name,
+                instructions=INSTR, instrument=True)
+            for name in ("stride", "cap", "hybrid")
+        ]
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = run_jobs(jobs)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        pooled = run_jobs(jobs)
+        for left, right in zip(serial, pooled):
+            assert isinstance(left.metrics, AttributionCounters)
+            assert left.metrics.attribution() == right.metrics.attribution()
+            assert left.metrics.loads == right.metrics.loads
+
+    def test_instrument_flag_off_returns_plain_metrics(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        job = Job(trace=TRACE, factory="cap", variant="cap",
+                  instructions=INSTR)
+        result = execute_job(job)
+        assert type(result.metrics) is PredictorMetrics
+
+
+class TestManifests:
+    def test_engine_writes_schema_valid_manifest(self, tmp_path, monkeypatch):
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        job = Job(trace=TRACE, factory="hybrid", variant="hybrid",
+                  instructions=INSTR, instrument=True)
+        run_jobs([job])
+        manifests = run_manifest.load_manifests(out)
+        assert len(manifests) == 1
+        manifest = manifests[0]
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == run_manifest.MANIFEST_SCHEMA_ID
+        assert manifest["job"]["trace"] == TRACE
+        assert manifest["metrics"]["loads"] > 0
+        assert manifest["attribution"]["confidence_vetoes"] >= 0
+        assert manifest["run"]["wall_s"] >= 0.0
+
+    def test_same_job_overwrites_not_duplicates(self, tmp_path, monkeypatch):
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        job = Job(trace=TRACE, factory="cap", variant="cap",
+                  instructions=INSTR)
+        run_jobs([job])
+        run_jobs([job])
+        assert len(list(out.glob("*.json"))) == 1
+
+    def test_disabled_writes_nothing(self, tmp_path, monkeypatch):
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        run_jobs([Job(trace=TRACE, factory="cap", variant="cap",
+                      instructions=INSTR)])
+        assert not out.exists()
+
+    def test_heartbeats_on_stderr(self, tmp_path, monkeypatch, capfd):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "t"))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        run_jobs([Job(trace=TRACE, factory="stride", variant="stride",
+                      instructions=INSTR)])
+        err = capfd.readouterr().err
+        assert "[telemetry]" in err
+        assert "start kind=predict" in err
+        assert "manifest=" in err
+
+    def test_config_hash_is_stable_and_sensitive(self):
+        a = Job(trace=TRACE, factory="cap", instructions=INSTR)
+        b = Job(trace=TRACE, factory="cap", instructions=INSTR)
+        c = Job(trace=TRACE, factory="cap", instructions=INSTR + 1)
+        assert run_manifest.config_hash(a) == run_manifest.config_hash(b)
+        assert run_manifest.config_hash(a) != run_manifest.config_hash(c)
+
+
+class TestSchemaValidator:
+    def test_schema_file_loads(self):
+        schema = load_schema()
+        assert schema["required"][0] == "schema"
+
+    def test_reports_type_and_required_violations(self):
+        schema = {
+            "type": "object",
+            "required": ["n"],
+            "additionalProperties": False,
+            "properties": {"n": {"type": "integer", "minimum": 0}},
+        }
+        assert validate({"n": 3}, schema) == []
+        assert validate({"n": -1}, schema)
+        assert validate({"n": "x"}, schema)
+        assert validate({}, schema)
+        assert validate({"n": 1, "extra": 1}, schema)
+
+    def test_enum_and_nullable_unions(self):
+        schema = {
+            "type": "object",
+            "properties": {
+                "kind": {"enum": ["predict", "timing"]},
+                "gap": {"type": ["integer", "null"]},
+            },
+        }
+        assert validate({"kind": "predict", "gap": None}, schema) == []
+        assert validate({"kind": "bogus"}, schema)
+        assert validate({"gap": 1.5}, schema)
+
+    def test_unknown_keyword_raises(self):
+        with pytest.raises(ValueError):
+            validate({}, {"type": "object", "patternProperties": {}})
+
+
+class TestProfiler:
+    def test_disabled_by_default(self):
+        assert profiler.maybe_start() is None
+
+    def test_profile_collects_samples(self, monkeypatch):
+        if not profiler.available():
+            pytest.skip("SIGPROF/setitimer unavailable")
+        monkeypatch.setenv("REPRO_TELEMETRY_PROFILE", "1")
+        prof = profiler.maybe_start(interval=0.001)
+        assert prof is not None
+        deadline = 200_000
+        total = 0
+        for i in range(deadline):
+            total += i * i
+        report = prof.stop()
+        assert report["interval_ms"] == pytest.approx(1.0)
+        assert report["samples"] >= 0
+        for site in report["sites"]:
+            assert isinstance(site["site"], str)
+            assert site["count"] >= 1
+
+
+class TestStatsReporting:
+    def _breakdown(self, monkeypatch):
+        from repro.telemetry import stats
+
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        return stats.collect_breakdown(
+            traces=[TRACE], instructions=INSTR,
+        )
+
+    def test_breakdown_text_json_csv(self, monkeypatch):
+        result = self._breakdown(monkeypatch)
+        text = result.render_text()
+        assert "Misprediction-cause breakdown" in text
+        for cause in ATTRIBUTION_FIELDS:
+            assert cause in text
+        payload = json.loads(result.to_json())
+        assert set(payload["totals"]) == {"stride", "cap", "hybrid"}
+        assert payload["totals"]["cap"]["attribution"]["lb_misses"] >= 1
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        # header + (per-trace + ALL) per variant
+        assert len(lines) == 1 + 2 * 3
+        assert lines[0].startswith("variant,trace,suite,loads")
+
+    def test_breakdown_totals_match_engine(self, monkeypatch):
+        result = self._breakdown(monkeypatch)
+        job = Job(trace=TRACE, factory="cap", variant="cap",
+                  instructions=INSTR, instrument=True)
+        direct = execute_job(job)
+        assert (
+            result.totals["cap"].attribution()
+            == direct.metrics.attribution()
+        )
+
+    def test_summarize_and_validate_directory(self, tmp_path, monkeypatch):
+        from repro.telemetry import stats
+
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        run_jobs([Job(trace=TRACE, factory="cap", variant="cap",
+                      instructions=INSTR, instrument=True)])
+        assert stats.validate_directory(out) == []
+        table = stats.summarize_manifests(out)
+        assert "cap" in table and TRACE in table
+        bad = json.loads((next(out.glob("*.json"))).read_text())
+        del bad["config_hash"]
+        (out / "broken.json").write_text(json.dumps(bad))
+        failures = stats.validate_directory(out)
+        assert len(failures) == 1
+        assert "config_hash" in " ".join(failures[0][1])
+
+
+class TestManifestDiff:
+    @staticmethod
+    def _manifest(variant, wall, accuracy, rate, config_hash="h1"):
+        return {
+            "schema": run_manifest.MANIFEST_SCHEMA_ID,
+            "config_hash": config_hash,
+            "job": {"variant": variant, "trace": "T", "kind": "predict"},
+            "run": {"started_at": "x", "wall_s": wall, "cpu_s": wall,
+                    "pid": 1},
+            "metrics": {"accuracy": accuracy, "prediction_rate": rate},
+        }
+
+    def _write(self, directory, manifests):
+        directory.mkdir(parents=True, exist_ok=True)
+        for index, manifest in enumerate(manifests):
+            (directory / f"m{index}.json").write_text(json.dumps(manifest))
+
+    def test_clean_when_within_tolerance(self, tmp_path):
+        from repro.telemetry.stats import diff_manifests
+
+        self._write(tmp_path / "a", [self._manifest("cap", 1.0, 0.9, 0.5)])
+        self._write(tmp_path / "b", [self._manifest("cap", 1.1, 0.9, 0.5)])
+        diff = diff_manifests(tmp_path / "a", tmp_path / "b")
+        assert diff.clean
+        assert diff.rows[0]["flags"] == []
+
+    def test_flags_perf_accuracy_and_rate(self, tmp_path):
+        from repro.telemetry.stats import diff_manifests
+
+        self._write(tmp_path / "a", [self._manifest("cap", 1.0, 0.90, 0.50)])
+        self._write(tmp_path / "b", [self._manifest("cap", 2.0, 0.80, 0.40)])
+        diff = diff_manifests(tmp_path / "a", tmp_path / "b")
+        assert not diff.clean
+        assert diff.rows[0]["flags"] == ["perf", "accuracy", "rate"]
+        assert len(diff.regressions) == 3
+        assert "wall" in diff.render()
+
+    def test_config_change_is_informational(self, tmp_path):
+        from repro.telemetry.stats import diff_manifests
+
+        self._write(tmp_path / "a", [self._manifest("cap", 1.0, 0.9, 0.5)])
+        self._write(
+            tmp_path / "b",
+            [self._manifest("cap", 1.0, 0.9, 0.5, config_hash="h2")],
+        )
+        diff = diff_manifests(tmp_path / "a", tmp_path / "b")
+        assert diff.clean
+        assert diff.rows[0]["flags"] == ["config"]
+
+    def test_unmatched_runs_listed(self, tmp_path):
+        from repro.telemetry.stats import diff_manifests
+
+        self._write(tmp_path / "a", [self._manifest("cap", 1.0, 0.9, 0.5)])
+        self._write(tmp_path / "b", [self._manifest("str", 1.0, 0.9, 0.5)])
+        diff = diff_manifests(tmp_path / "a", tmp_path / "b")
+        assert diff.only_baseline == ["cap/T"]
+        assert diff.only_candidate == ["str/T"]
