@@ -18,6 +18,8 @@ Usage (via ``python -m repro``)::
     python -m repro stats summarize telemetry/   # run-manifest summary
     python -m repro stats diff base/ cand/       # flag perf/accuracy drift
     python -m repro stats validate telemetry/    # schema-check manifests
+    python -m repro stats bench --gate 15        # fig5 wall-clock history
+    python -m repro run fig5 --full --backend python   # force scalar path
 """
 
 from __future__ import annotations
@@ -78,6 +80,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # the environment keeps every driver signature unchanged and the
         # setting inheritable by pool workers.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if getattr(args, "backend", None) is not None:
+        # Same route as --jobs: the kernel dispatcher reads REPRO_BACKEND
+        # per job, and pool workers inherit the environment.
+        os.environ["REPRO_BACKEND"] = args.backend
 
     traces: Optional[List[str]]
     if args.traces:
@@ -164,6 +170,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"unknown variant {name!r};"
                   f" choose from {sorted(VARIANTS)}", file=sys.stderr)
             return 2
+    if getattr(args, "backend", None) is not None:
+        # The vectorized differential lane honours the same selection the
+        # evaluation runs do; see _cmd_run.
+        os.environ["REPRO_BACKEND"] = args.backend
     failed = False
 
     # 1. Saved regression traces always replay first: they are tiny, and a
@@ -298,6 +308,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         print(diff.render())
         return 0 if diff.clean else 1
+    if mode == "bench":
+        problems = S.check_bench_file(args.file)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 2
+        print(S.render_bench_history(args.file))
+        if args.gate is not None:
+            message = S.bench_regression(args.file, args.gate / 100.0)
+            if message is not None:
+                print(message, file=sys.stderr)
+                return 1
+            print(f"gate: newest entry within {args.gate:.0f}% of best peer")
+        return 0
     print(f"unknown stats mode {mode!r}", file=sys.stderr)
     return 2
 
@@ -335,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="parallel worker processes (default: REPRO_JOBS"
                           " env var, else CPU count; 1 = serial)")
+    run.add_argument("--backend", choices=["python", "numpy"], default=None,
+                     help="predictor evaluation backend (default:"
+                          " REPRO_BACKEND env var, else numpy when"
+                          " available)")
     run.set_defaults(func=_cmd_run)
 
     summarize = sub.add_parser("summarize", help="print trace statistics")
@@ -390,6 +418,10 @@ def build_parser() -> argparse.ArgumentParser:
                              " (default: tests/regressions)")
     verify.add_argument("--no-metamorphic", action="store_true",
                         help="skip the metamorphic invariant checks")
+    verify.add_argument("--backend", choices=["python", "numpy"],
+                        default=None,
+                        help="backend for the vectorized differential lane"
+                             " (default: REPRO_BACKEND env var)")
     verify.set_defaults(func=_cmd_verify)
 
     stats = sub.add_parser(
@@ -440,9 +472,23 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("directory", metavar="DIR")
     validate.set_defaults(func=_cmd_stats)
 
+    bench = stats_sub.add_parser(
+        "bench",
+        help="fig5 wall-clock trajectory recorded in BENCH_fig5.json",
+    )
+    bench.add_argument(
+        "file", nargs="?", default="BENCH_fig5.json", metavar="FILE",
+    )
+    bench.add_argument(
+        "--gate", type=float, default=None, metavar="PCT",
+        help="exit 1 if the newest entry is more than PCT%% slower than"
+             " the best earlier run on the same backend and worker count",
+    )
+    bench.set_defaults(func=_cmd_stats)
+
     lint = sub.add_parser(
         "lint",
-        help="AST-based simulator-correctness linter (R001-R005)",
+        help="AST-based simulator-correctness linter (R001-R006)",
     )
     from ..lint.cli import add_lint_arguments
 

@@ -151,6 +151,9 @@ class JobResult:
     selector_stats: Optional[SelectorStats] = None
     #: Formatted divergence report from a ``verify`` job (None = clean).
     divergence: Optional[str] = None
+    #: Which evaluation backend actually ran ("python" / "numpy"); None
+    #: for job kinds that never enter the prediction loop.
+    backend: Optional[str] = None
 
 
 # Tiny per-process memo for traces and stream columns: drivers emit jobs
@@ -293,6 +296,7 @@ def _execute(job: Job, aux: Dict[str, Any]) -> JobResult:
     return JobResult(
         variant=job.variant, trace=job.trace, suite=suite,
         metrics=metrics, selector_stats=selector_stats,
+        backend=metrics.backend or None,
     )
 
 
@@ -355,6 +359,7 @@ def _build_manifest(
             "peak_rss_kb": run_manifest.peak_rss_kb(),
             "pid": os.getpid(),
             "python": platform.python_version(),
+            "backend": result.backend,
         },
         "metrics": metrics_record,
         "cycles": result.cycles,

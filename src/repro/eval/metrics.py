@@ -22,7 +22,7 @@ __all__ = [
 ]
 
 #: Dataclass fields that label a metrics object rather than count events.
-_LABEL_FIELDS = ("name", "trace", "suite")
+_LABEL_FIELDS = ("name", "trace", "suite", "backend")
 
 
 @dataclass
@@ -32,6 +32,9 @@ class PredictorMetrics:
     name: str = ""
     trace: str = ""
     suite: str = ""
+    #: Evaluation backend that produced these counters ("python" scalar
+    #: loop or "numpy" batch kernels); "" when aggregated or unknown.
+    backend: str = ""
     loads: int = 0
     predictions: int = 0          # an address was produced (LB hit + link)
     speculative: int = 0          # confidence agreed -> speculative access

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Union
 
+from ..kernels import try_run_batch
 from ..predictors.base import AddressPredictor
 from ..trace.trace import PredictorStream, Trace
 from .metrics import AttributionCounters, PredictorMetrics
@@ -47,6 +48,7 @@ def run_on_stream(
     on_call = predictor.on_call
     on_return = predictor.on_return
     seen_loads = 0
+    metrics.backend = "python"
 
     for tag, ip, a, b in stream:
         if tag == 1:
@@ -79,13 +81,19 @@ def run_on_columns(
 ) -> PredictorMetrics:
     """Columnar fast path: evaluate over a :class:`PredictorStream`.
 
-    Semantically identical to :func:`run_on_stream`, with two wins over
+    Dispatches to the batch kernels (:mod:`repro.kernels`) when the
+    predictor advertises ``supports_batch`` and the resolved backend is
+    ``numpy``; otherwise runs the scalar reference loop.  The scalar loop
+    is semantically identical to :func:`run_on_stream`, with two wins over
     iterating a tuple list: ``zip`` over the four parallel columns lets
     CPython recycle the event tuple every iteration instead of keeping one
     4-tuple per event alive, and the correctness counters accumulate in
     locals (folded into ``metrics`` once at the end) instead of paying a
-    method call per dynamic load.
+    method call per dynamic load.  ``metrics.backend`` records which path
+    actually ran.
     """
+    if try_run_batch(predictor, stream, metrics, warmup_loads, observer):
+        return metrics
     predict = predictor.predict
     update = predictor.update
     on_branch = predictor.on_branch
@@ -94,8 +102,9 @@ def run_on_columns(
     seen_loads = 0
     loads = predictions = correct_predictions = 0
     speculative = correct_speculative = 0
+    metrics.backend = "python"
 
-    for tag, ip, a, b in zip(stream.tag, stream.ip, stream.a, stream.b):
+    for tag, ip, a, b in zip(*stream.lists()):
         if tag == 1:
             prediction = predict(ip, b)
             if observer is not None:

@@ -1,0 +1,113 @@
+"""Batch kernel API: results, fallback signalling, backend selection.
+
+A *batch kernel* evaluates a predictor over a whole columnar event stream
+in two phases mirroring the scalar ``predict``/``update`` contract:
+
+* ``predict_batch(batch)`` — a pure solver.  Reads the predictor's
+  configuration (never its mutable state: kernels only run on untrained
+  predictors driven from the start of a stream) and returns a
+  :class:`BatchResult` holding the per-load outcome arrays plus whatever
+  intermediate state the commit phase needs.  Must not mutate anything;
+  raises :class:`BatchFallback` for configurations it cannot vectorise.
+* ``update_batch(batch, result)`` — commits the end-of-stream
+  architectural state (tables, counters, statistics, probe counts) into
+  the live predictor objects, leaving the predictor indistinguishable
+  from one trained by the scalar path.
+
+Backends: ``python`` is the always-available scalar reference (the kernel
+layer simply declines to run); ``numpy`` is the vectorised path.  The
+default is feature-detected and can be forced with ``REPRO_BACKEND`` (the
+CLI's ``--backend`` flag sets the same variable).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Optional, Tuple
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_PYTHON",
+    "BACKEND_NUMPY",
+    "BatchFallback",
+    "BatchResult",
+    "available_backends",
+    "resolve_backend",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+BACKEND_PYTHON = "python"
+BACKEND_NUMPY = "numpy"
+
+
+class BatchFallback(Exception):
+    """Raised by a kernel that cannot vectorise this configuration.
+
+    The dispatcher catches it and runs the scalar reference path instead;
+    the exception carries a short reason for diagnostics.
+    """
+
+
+class BatchResult:
+    """Per-load outcome arrays plus the kernel's commit payload.
+
+    ``address`` is only meaningful where ``made`` is set; ``correct``
+    is ``made & (address == actual)`` (exactly the scalar runner's
+    ``prediction.address == a`` — a no-prediction never compares equal).
+    ``source_code`` indexes ``source_names`` per load, reproducing each
+    scalar ``Prediction.source`` string for the differential harness.
+    ``state`` is an opaque payload handed to the kernel's commit phase.
+    """
+
+    __slots__ = (
+        "address", "made", "speculative", "correct",
+        "source_code", "source_names", "state",
+    )
+
+    def __init__(
+        self,
+        address,
+        made,
+        speculative,
+        correct,
+        source_code,
+        source_names: Tuple[str, ...],
+        state=None,
+    ) -> None:
+        self.address = address
+        self.made = made
+        self.speculative = speculative
+        self.correct = correct
+        self.source_code = source_code
+        self.source_names = source_names
+        self.state = state
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this environment (``python`` always is)."""
+    if importlib.util.find_spec("numpy") is not None:
+        return (BACKEND_PYTHON, BACKEND_NUMPY)
+    return (BACKEND_PYTHON,)
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """Effective backend name.
+
+    Precedence: explicit ``override`` argument, then the ``REPRO_BACKEND``
+    environment variable, then feature detection (numpy when importable).
+    Unknown names raise rather than silently degrade — a forced backend is
+    a correctness assertion in CI.
+    """
+    env = os.environ.get(BACKEND_ENV, "")  # repro-lint: disable=R002
+    choice = override or env.strip().lower()
+    if not choice:
+        return BACKEND_NUMPY if len(available_backends()) > 1 else BACKEND_PYTHON
+    if choice not in (BACKEND_PYTHON, BACKEND_NUMPY):
+        raise ValueError(
+            f"unknown backend {choice!r} (expected"
+            f" {BACKEND_PYTHON!r} or {BACKEND_NUMPY!r})"
+        )
+    if choice == BACKEND_NUMPY and len(available_backends()) == 1:
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    return choice

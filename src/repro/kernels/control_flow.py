@@ -1,0 +1,258 @@
+"""Confidence and control-flow-indication solvers for the batch kernels.
+
+Two families:
+
+* :func:`sat_counter_trajectory` — closed-form evolution of the
+  reset-on-miss saturating counter (and its hysteresis variant) over a
+  segmented correctness stream.
+* :func:`resolve_cfi` / :func:`resolve_cfi_hybrid` — the control-flow
+  indication filter (:class:`repro.predictors.confidence.
+  ControlFlowIndication`).  CFI state is *almost always* clean: a bad
+  pattern is only recorded when a speculative access misses, and the
+  accuracies the paper reports sit above 99%.  The resolvers exploit this:
+  while a key's CFI state is clean every ``allows`` is True and the state
+  can only change at a precomputed *set candidate* (an eligible
+  misprediction), so the solver vector-jumps between candidates and only
+  falls back to a per-event Python loop for the short dirty stretches
+  after a set.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..predictors.confidence import CFI_LAST, CFI_OFF, CFI_PATHS
+from .segops import seg_clamped_walk, seg_streak_before
+
+__all__ = [
+    "sat_counter_trajectory",
+    "resolve_cfi",
+    "resolve_cfi_hybrid",
+]
+
+
+def sat_counter_trajectory(
+    correct: np.ndarray,
+    starts: np.ndarray,
+    maximum: int,
+    hysteresis: bool,
+) -> np.ndarray:
+    """Post-update :class:`~repro.common.sat_counter.SaturatingCounter`
+    value at every update event.
+
+    ``correct`` holds the update stream in segmented (per-key) layout; the
+    counter starts at 0 at each segment head.  Without hysteresis the
+    counter is a capped correct-streak counter; with hysteresis it is a
+    clamped ±1 walk.
+    """
+    if hysteresis:
+        delta = np.where(correct, 1, -1).astype(np.int64)
+        return seg_clamped_walk(delta, starts, 0, maximum, 0)
+    streak = seg_streak_before(correct, starts)
+    return np.where(correct, np.minimum(maximum, streak + 1), 0)
+
+
+def _segment_bounds(starts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-position segment id and per-segment end position."""
+    seg_of = np.cumsum(starts) - 1
+    heads = np.flatnonzero(starts)
+    ends = np.append(heads[1:], len(starts))
+    return seg_of, ends
+
+
+def resolve_cfi(
+    mode: str,
+    starts: np.ndarray,
+    pattern: np.ndarray,
+    correct: np.ndarray,
+    eligible: np.ndarray,
+) -> Tuple[np.ndarray, dict]:
+    """``(allows, final)`` for a single CFI machine over segmented rows.
+
+    One row per load that both reads the filter and trains it (for every
+    predictor these coincide: a load consults ``allows`` iff its update
+    later calls ``record``).  ``pattern`` is the masked GHR,
+    ``correct`` the verified outcome, ``eligible`` whether the load would
+    speculate if the filter allowed it (all other confidence gates).
+
+    ``final`` maps segment index -> machine state at segment end for the
+    segments that end *dirty* (``_bad_pattern`` for "last", the
+    ``_path_bad`` bitmap for "paths"); segments absent from it end clean.
+    """
+    n = len(pattern)
+    allows = np.ones(n, dtype=bool)
+    final: dict = {}
+    if mode == CFI_OFF or not n:
+        return allows, final
+    candidates = np.flatnonzero(~correct & eligible)
+    if not len(candidates):
+        return allows, final
+    seg_of, ends = _segment_bounds(starts)
+    pat = pattern.tolist()
+    cor = correct.tolist()
+    eli = eligible.tolist()
+    is_last = mode == CFI_LAST
+    if not is_last and mode != CFI_PATHS:  # pragma: no cover - config guard
+        raise ValueError(f"unknown CFI mode {mode!r}")
+    ci = 0
+    nc = len(candidates)
+    while ci < nc:
+        i = int(candidates[ci])
+        end = int(ends[seg_of[i]])
+        # Clean state at a set candidate: allows is True, so the eligible
+        # miss records its pattern and the machine goes dirty.
+        j = i + 1
+        if is_last:
+            bad = pat[i]
+            while j < end and bad is not None:
+                p = pat[j]
+                a = p != bad
+                allows[j] = a
+                if cor[j]:
+                    if bad == p:
+                        bad = None
+                elif eli[j] and a:
+                    bad = p
+                j += 1
+            if j == end and bad is not None:
+                final[int(seg_of[i])] = bad
+        else:
+            bitmap = 1 << pat[i]
+            while j < end and bitmap:
+                p = pat[j]
+                a = not (bitmap >> p) & 1
+                allows[j] = a
+                if cor[j]:
+                    bitmap &= ~(1 << p)
+                elif eli[j] and a:
+                    bitmap |= 1 << p
+                j += 1
+            if j == end and bitmap:
+                final[int(seg_of[i])] = bitmap
+        while ci < nc and candidates[ci] < j:
+            ci += 1
+    return allows, final
+
+
+def resolve_cfi_hybrid(
+    cap_mode: str,
+    cap_bits: int,
+    stride_mode: str,
+    stride_bits: int,
+    starts: np.ndarray,
+    ghr: np.ndarray,
+    cap_trains: np.ndarray,
+    cap_correct: np.ndarray,
+    cap_eligible: np.ndarray,
+    stride_correct: np.ndarray,
+    stride_eligible: np.ndarray,
+    prefer_cap: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """``(allows_cap, allows_stride, final)`` for the hybrid's CFI machines.
+
+    The machines are coupled through arbitration: each component's
+    ``record`` receives ``speculated = final_speculative and selected ==
+    component``, and which component is *selected* depends on both
+    machines' ``allows``.  That coupling is why the hybrid gets its own
+    resolver instead of two independent single-machine passes.
+
+    ``cap_trains`` marks rows where the CAP component made a prediction
+    (only those train its machine); the stride component trains on every
+    row.  ``prefer_cap`` is the selector's arbitration when both
+    components speculate.  ``final`` maps segment index -> the pair of
+    end-of-segment machine states (see :func:`resolve_cfi`) for segments
+    ending dirty; each element is ``None``/``0`` when that machine is
+    clean.
+    """
+    n = len(ghr)
+    allows_c = np.ones(n, dtype=bool)
+    allows_s = np.ones(n, dtype=bool)
+    final: dict = {}
+    cap_on = cap_mode != CFI_OFF
+    stride_on = stride_mode != CFI_OFF
+    if not n or not (cap_on or stride_on):
+        return allows_c, allows_s, final
+    # Set candidates under clean state (both machines allow): a machine can
+    # only record a bad pattern when its component is selected-speculative
+    # and wrong.
+    clean_sel_cap = cap_eligible & (prefer_cap | ~stride_eligible)
+    cap_cand = cap_on & cap_trains & ~cap_correct & cap_eligible & clean_sel_cap
+    stride_cand = (
+        stride_on & ~stride_correct & stride_eligible & ~clean_sel_cap
+    )
+    candidates = np.flatnonzero(cap_cand | stride_cand)
+    if not len(candidates):
+        return allows_c, allows_s, final
+    seg_of, ends = _segment_bounds(starts)
+    pat_c = (ghr & ((1 << cap_bits) - 1)).tolist()
+    pat_s = (ghr & ((1 << stride_bits) - 1)).tolist()
+    c_tr = cap_trains.tolist()
+    c_cor = cap_correct.tolist()
+    c_eli = cap_eligible.tolist()
+    s_cor = stride_correct.tolist()
+    s_eli = stride_eligible.tolist()
+    pref = prefer_cap.tolist()
+    cap_paths = cap_mode == CFI_PATHS
+    stride_paths = stride_mode == CFI_PATHS
+    ci = 0
+    nc = len(candidates)
+    while ci < nc:
+        j = int(candidates[ci])
+        end = int(ends[seg_of[j]])
+        # Machine state: "last" keeps an Optional pattern, "paths" a bitmap.
+        bad_c: "int | None" = None
+        map_c = 0
+        bad_s: "int | None" = None
+        map_s = 0
+        while j < end:
+            pc = pat_c[j]
+            ps = pat_s[j]
+            a_c = not (map_c >> pc) & 1 if cap_paths else pc != bad_c
+            a_s = not (map_s >> ps) & 1 if stride_paths else ps != bad_s
+            allows_c[j] = a_c
+            allows_s[j] = a_s
+            spec_c = c_eli[j] and a_c
+            spec_s = s_eli[j] and a_s
+            if spec_c and spec_s:
+                sel_cap = pref[j]
+            elif spec_c or spec_s:
+                sel_cap = spec_c
+            else:
+                sel_cap = False
+            spec_fin = spec_c or spec_s
+            if cap_on and c_tr[j]:
+                speculated = spec_fin and sel_cap
+                if c_cor[j]:
+                    if cap_paths:
+                        map_c &= ~(1 << pc)
+                    elif bad_c == pc:
+                        bad_c = None
+                elif speculated:
+                    if cap_paths:
+                        map_c |= 1 << pc
+                    else:
+                        bad_c = pc
+            if stride_on:
+                speculated = spec_fin and not sel_cap
+                if s_cor[j]:
+                    if stride_paths:
+                        map_s &= ~(1 << ps)
+                    elif bad_s == ps:
+                        bad_s = None
+                elif speculated:
+                    if stride_paths:
+                        map_s |= 1 << ps
+                    else:
+                        bad_s = ps
+            j += 1
+            if bad_c is None and not map_c and bad_s is None and not map_s:
+                break
+        if j == end and (bad_c is not None or map_c or bad_s is not None or map_s):
+            cap_state = map_c if cap_paths else bad_c
+            stride_state = map_s if stride_paths else bad_s
+            final[int(seg_of[j - 1])] = (cap_state, stride_state)
+        while ci < nc and candidates[ci] < j:
+            ci += 1
+    return allows_c, allows_s, final

@@ -1,0 +1,99 @@
+"""Batch kernel for :class:`repro.predictors.gshare_address.GShareAddressPredictor`.
+
+Structurally the last-address kernel over a different grouping: loads are
+grouped by table *slot* (folded IP xor control history, masked to the
+table size) instead of by LB key, and there is no load buffer — the
+direct-mapped table tracks no hit/miss statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .api import BatchResult
+from .batch import EventBatch
+from .segops import fold_xor_array, group_sort, seg_shift
+from .control_flow import sat_counter_trajectory
+
+__all__ = ["plan_gshare", "commit_gshare"]
+
+_SOURCES = ("gshare",)
+
+
+def plan_gshare(predictor, batch: EventBatch) -> BatchResult:
+    from ..predictors.gshare_address import HISTORY_BRANCH
+
+    cfg = predictor.config
+    ips, actual, _ = batch.load_columns()
+    n = batch.n_loads
+    index_bits = predictor.table.index_bits
+    if cfg.history_mode == HISTORY_BRANCH:
+        control = batch.ghr_at_load & np.int64((1 << cfg.history_bits) - 1)
+    else:
+        control = fold_xor_array(batch.path_hash_at_load(), cfg.history_bits)
+    index = fold_xor_array(ips >> 2, index_bits) ^ control
+    slot = index & np.int64((1 << index_bits) - 1)
+
+    order, starts = group_sort(slot)
+    a_s = actual[order]
+    prev_a = seg_shift(a_s, starts, -1)
+    made_s = ~starts
+    corr_s = made_s & (prev_a == a_s)
+
+    upd = made_s
+    pos = np.arange(n, dtype=np.int64)
+    occ_first = pos - 1  # sorted layout: an update row's segment head check
+    # A slot's first update row is the row right after its segment head.
+    sub_starts = starts[occ_first[upd]] if n else np.empty(0, dtype=bool)
+    maximum = (
+        cfg.confidence_threshold
+        if cfg.confidence_max is None else cfg.confidence_max
+    )
+    conf_after = sat_counter_trajectory(
+        corr_s[upd], sub_starts, maximum, hysteresis=False
+    )
+    conf_before_s = np.zeros(n, dtype=np.int64)
+    conf_before_s[upd] = seg_shift(conf_after, sub_starts, 0)
+    spec_s = made_s & (conf_before_s >= cfg.confidence_threshold)
+
+    address = np.empty(n, dtype=np.int64)
+    made = np.empty(n, dtype=bool)
+    speculative = np.empty(n, dtype=bool)
+    correct = np.empty(n, dtype=bool)
+    address[order] = prev_a
+    made[order] = made_s
+    speculative[order] = spec_s
+    correct[order] = corr_s
+
+    ends = np.empty(n, dtype=bool)
+    if n:
+        ends[:-1] = starts[1:]
+        ends[-1] = True
+    conf_after_s = np.zeros(n, dtype=np.int64)
+    conf_after_s[upd] = conf_after
+    state = {
+        "slots": slot[order][starts] if n else np.empty(0, dtype=np.int64),
+        "final_addr": a_s[ends] if n else np.empty(0, dtype=np.int64),
+        "final_conf": conf_after_s[ends] if n else np.empty(0, dtype=np.int64),
+    }
+    return BatchResult(
+        address, made, speculative, correct,
+        np.zeros(n, dtype=np.int8), _SOURCES, state,
+    )
+
+
+def commit_gshare(predictor, batch: EventBatch, result: BatchResult) -> None:
+    from ..predictors.gshare_address import _Entry
+
+    state = result.state
+    slots_list = predictor.table._slots
+    for slot, addr, conf in zip(
+        state["slots"].tolist(),
+        state["final_addr"].tolist(),
+        state["final_conf"].tolist(),
+    ):
+        entry = _Entry(predictor.config)
+        entry.address = addr
+        entry.confidence.value = conf
+        slots_list[slot] = entry
+    batch.commit_control_flow(predictor)

@@ -12,6 +12,7 @@ from .determinism import DeterminismRule
 from .bitwidth import BitWidthRule
 from .picklability import PicklabilityRule
 from .parity import StreamColumnsParityRule
+from .batch_contract import BatchContractRule
 
 __all__ = [
     "ResetCompletenessRule",
@@ -19,4 +20,5 @@ __all__ = [
     "BitWidthRule",
     "PicklabilityRule",
     "StreamColumnsParityRule",
+    "BatchContractRule",
 ]

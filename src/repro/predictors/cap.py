@@ -300,6 +300,10 @@ class CAPComponent:
 class CAPPredictor(AddressPredictor):
     """Stand-alone CAP: its own Load Buffer plus a :class:`CAPComponent`."""
 
+    #: Batch-kernel capability flag (see :mod:`repro.kernels`); the
+    #: dispatcher additionally declines when ``speculative_mode`` is set.
+    supports_batch = True
+
     def __init__(self, config: CAPConfig | None = None) -> None:
         super().__init__()
         self.config = config or CAPConfig()
@@ -337,6 +341,18 @@ class CAPPredictor(AddressPredictor):
             speculated=prediction.speculative,
             speculative_mode=self.speculative_mode,
         )
+
+    def predict_batch(self, batch):
+        """Pure batch solver (see :mod:`repro.kernels.cap`)."""
+        from ..kernels.cap import plan_cap
+
+        return plan_cap(self, batch)
+
+    def update_batch(self, batch, result) -> None:
+        """Commit a batch result's end state into the live tables."""
+        from ..kernels.cap import commit_cap
+
+        commit_cap(self, batch, result)
 
     def reset(self) -> None:
         super().reset()

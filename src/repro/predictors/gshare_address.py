@@ -57,6 +57,9 @@ class _Entry:
 class GShareAddressPredictor(AddressPredictor):
     """Table of predicted addresses indexed by IP xor control history."""
 
+    #: Batch-kernel capability flag (see :mod:`repro.kernels`).
+    supports_batch = True
+
     def __init__(self, config: GShareAddressConfig | None = None) -> None:
         super().__init__()
         self.config = config or GShareAddressConfig()
@@ -102,6 +105,18 @@ class GShareAddressPredictor(AddressPredictor):
         if entry.address is not None:
             entry.confidence.update(entry.address == actual)
         entry.address = actual
+
+    def predict_batch(self, batch):
+        """Pure batch solver (see :mod:`repro.kernels.gshare`)."""
+        from ..kernels.gshare import plan_gshare
+
+        return plan_gshare(self, batch)
+
+    def update_batch(self, batch, result) -> None:
+        """Commit a batch result's end state into the live table."""
+        from ..kernels.gshare import commit_gshare
+
+        commit_gshare(self, batch, result)
 
     def reset(self) -> None:
         super().reset()

@@ -108,6 +108,11 @@ class SelectorStats:
 class HybridPredictor(AddressPredictor):
     """The paper's flagship predictor: shared-LB hybrid CAP/stride."""
 
+    #: Batch-kernel capability flag (see :mod:`repro.kernels`); the
+    #: dispatcher additionally declines when ``speculative_mode`` is set,
+    #: and the kernel itself falls back for ``unless_stride_selected``.
+    supports_batch = True
+
     def __init__(self, config: HybridConfig | None = None) -> None:
         super().__init__()
         self.config = config or HybridConfig()
@@ -262,6 +267,18 @@ class HybridPredictor(AddressPredictor):
             )
             miss_selection = (not final_correct) and bool(other_correct)
             self.selector_stats.selection.record(not miss_selection)
+
+    def predict_batch(self, batch):
+        """Pure batch solver (see :mod:`repro.kernels.hybrid`)."""
+        from ..kernels.hybrid import plan_hybrid
+
+        return plan_hybrid(self, batch)
+
+    def update_batch(self, batch, result) -> None:
+        """Commit a batch result's end state into the live tables."""
+        from ..kernels.hybrid import commit_hybrid
+
+        commit_hybrid(self, batch, result)
 
     def reset(self) -> None:
         super().reset()

@@ -46,6 +46,9 @@ class _Entry:
 class LastAddressPredictor(AddressPredictor):
     """Per-static-load last-address table with a saturating confidence counter."""
 
+    #: Batch-kernel capability flag (see :mod:`repro.kernels`).
+    supports_batch = True
+
     def __init__(self, config: LastAddressConfig | None = None) -> None:
         super().__init__()
         self.config = config or LastAddressConfig()
@@ -74,6 +77,18 @@ class LastAddressPredictor(AddressPredictor):
         if entry.last_addr is not None:
             entry.confidence.update(entry.last_addr == actual)
         entry.last_addr = actual
+
+    def predict_batch(self, batch):
+        """Pure batch solver (see :mod:`repro.kernels.last_address`)."""
+        from ..kernels.last_address import plan_last_address
+
+        return plan_last_address(self, batch)
+
+    def update_batch(self, batch, result) -> None:
+        """Commit a batch result's end state into the live tables."""
+        from ..kernels.last_address import commit_last_address
+
+        commit_last_address(self, batch, result)
 
     def reset(self) -> None:
         super().reset()

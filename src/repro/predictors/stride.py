@@ -232,6 +232,10 @@ class StridePredictor(AddressPredictor):
     than by hand.
     """
 
+    #: Batch-kernel capability flag (see :mod:`repro.kernels`); the
+    #: dispatcher additionally declines when ``speculative_mode`` is set.
+    supports_batch = True
+
     def __init__(self, config: StrideConfig | None = None) -> None:
         super().__init__()
         self.config = config or StrideConfig()
@@ -272,6 +276,18 @@ class StridePredictor(AddressPredictor):
             had_prediction=True,
             speculative_mode=self.speculative_mode,
         )
+
+    def predict_batch(self, batch):
+        """Pure batch solver (see :mod:`repro.kernels.stride`)."""
+        from ..kernels.stride import plan_stride
+
+        return plan_stride(self, batch)
+
+    def update_batch(self, batch, result) -> None:
+        """Commit a batch result's end state into the live tables."""
+        from ..kernels.stride import commit_stride
+
+        commit_stride(self, batch, result)
 
     def reset(self) -> None:
         super().reset()

@@ -34,11 +34,15 @@ from .manifest import load_manifests
 from .schema import validate_manifest
 
 __all__ = [
+    "BENCH_SCHEMA_ID",
     "BreakdownResult",
     "DEFAULT_VARIANTS",
     "ManifestDiff",
+    "bench_regression",
+    "check_bench_file",
     "collect_breakdown",
     "diff_manifests",
+    "render_bench_history",
     "summarize_manifests",
     "validate_directory",
 ]
@@ -420,3 +424,129 @@ def diff_manifests(
             "flags": flags,
         })
     return result
+
+
+# ---------------------------------------------------------------------------
+# fig5 wall-clock trajectory (BENCH_fig5.json)
+# ---------------------------------------------------------------------------
+
+BENCH_SCHEMA_ID = "repro.bench_fig5/v1"
+
+_BENCH_BACKENDS = ("python", "numpy")
+_BENCH_ENTRY_KEYS = ("label", "recorded_at", "wall_s", "backend", "jobs")
+
+
+def _load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_bench_file(path: Union[str, Path]) -> List[str]:
+    """Schema problems in a bench trajectory file; ``[]`` when clean.
+
+    Checked invariants: the schema id, the per-entry required keys and
+    value domains, and chronological ``recorded_at`` order — append-only
+    history, so a rewritten or reordered file fails the bench CI job.
+    """
+    try:
+        payload = _load_bench(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    problems: List[str] = []
+    if payload.get("schema") != BENCH_SCHEMA_ID:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {BENCH_SCHEMA_ID!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries must be a non-empty list"]
+    previous_stamp = ""
+    for index, entry in enumerate(entries):
+        where = f"entries[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in _BENCH_ENTRY_KEYS:
+            if key not in entry:
+                problems.append(f"{where}: missing {key!r}")
+        wall = entry.get("wall_s")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            problems.append(f"{where}: wall_s must be positive, got {wall!r}")
+        if entry.get("backend") not in _BENCH_BACKENDS:
+            problems.append(
+                f"{where}: backend must be one of {_BENCH_BACKENDS},"
+                f" got {entry.get('backend')!r}"
+            )
+        jobs = entry.get("jobs")
+        if not isinstance(jobs, int) or jobs < 1:
+            problems.append(f"{where}: jobs must be a positive int, got {jobs!r}")
+        stamp = entry.get("recorded_at")
+        if not isinstance(stamp, str) or not stamp:
+            problems.append(f"{where}: recorded_at must be an ISO timestamp")
+        else:
+            # ISO-8601 strings with a fixed UTC suffix order lexically.
+            if stamp < previous_stamp:
+                problems.append(
+                    f"{where}: recorded_at {stamp!r} precedes the previous"
+                    f" entry ({previous_stamp!r}); history is append-only"
+                )
+            previous_stamp = stamp
+    return problems
+
+
+def render_bench_history(path: Union[str, Path]) -> str:
+    """The trajectory as a table, with speedups against the seed entry."""
+    payload = _load_bench(path)
+    entries = payload.get("entries", [])
+    baseline = entries[0]["wall_s"] if entries else None
+    rows = []
+    for entry in entries:
+        wall = entry["wall_s"]
+        rows.append([
+            entry["label"],
+            entry["recorded_at"][:10],
+            entry["backend"],
+            entry["jobs"],
+            f"{wall:.1f}",
+            f"{baseline / wall:.2f}x" if baseline else "-",
+            entry.get("note", ""),
+        ])
+    return format_table(
+        ["label", "date", "backend", "jobs", "wall_s", "vs seed", "note"],
+        rows,
+        title=payload.get("benchmark", "fig5 wall-clock trajectory"),
+    )
+
+
+def bench_regression(
+    path: Union[str, Path], tolerance: float = 0.15
+) -> Optional[str]:
+    """Gate message when the newest entry regressed; ``None`` when clean.
+
+    The newest entry is compared against the *best* earlier run with the
+    same backend and worker count — comparing across backends (or serial
+    vs parallel) would gate apples against oranges.  ``tolerance`` is the
+    allowed fractional slowdown (0.15 = 15%), absorbing host noise.
+    """
+    entries = _load_bench(path).get("entries", [])
+    if len(entries) < 2:
+        return None
+    newest = entries[-1]
+    peers = [
+        entry["wall_s"]
+        for entry in entries[:-1]
+        if entry["backend"] == newest["backend"]
+        and entry["jobs"] == newest["jobs"]
+    ]
+    if not peers:
+        return None
+    best = min(peers)
+    if newest["wall_s"] > best * (1.0 + tolerance):
+        return (
+            f"bench regression: {newest['label']}"
+            f" ({newest['backend']}, {newest['jobs']} worker(s)) took"
+            f" {newest['wall_s']:.1f}s vs best {best:.1f}s"
+            f" (+{(newest['wall_s'] / best - 1.0) * 100:.0f}%,"
+            f" tolerance {tolerance * 100:.0f}%)"
+        )
+    return None

@@ -54,35 +54,80 @@ class PredictorStream:
     per trace; iterating yields tuples lazily (CPython's ``zip`` recycles
     the result tuple in a plain ``for`` loop, so the tuple-based consumers
     keep working unchanged at a fraction of the allocation cost).
+
+    Columns may be held as Python lists (the recording path appends) or as
+    ``numpy`` ``int64`` arrays (cache loads keep the deserialised arrays,
+    feeding the batch kernels zero-copy).  Scalar consumers must go through
+    :meth:`lists` — iterating an ``int64`` array yields numpy scalars whose
+    ``<<`` overflows at 64 bits, so the per-event interpreters always work
+    on Python ints.
     """
 
-    __slots__ = ("tag", "ip", "a", "b", "loads")
+    __slots__ = ("tag", "ip", "a", "b", "loads", "_lists", "_arrays")
 
     def __init__(
         self,
-        tag: List[int],
-        ip: List[int],
-        a: List[int],
-        b: List[int],
+        tag: "List[int] | np.ndarray",
+        ip: "List[int] | np.ndarray",
+        a: "List[int] | np.ndarray",
+        b: "List[int] | np.ndarray",
         loads: Optional[int] = None,
     ) -> None:
         self.tag = tag
         self.ip = ip
         self.a = a
         self.b = b
+        self._lists: Optional[Tuple[list, list, list, list]] = None
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
         #: Number of dynamic loads (``tag == 1`` entries), precomputed so
         #: warm-up bookkeeping never rescans the stream.
-        self.loads = loads if loads is not None else tag.count(1)
+        if loads is None:
+            if isinstance(tag, np.ndarray):
+                loads = int(np.count_nonzero(tag == 1))
+            else:
+                loads = tag.count(1)
+        self.loads = loads
 
     def __len__(self) -> int:
         return len(self.tag)
 
+    def lists(self) -> Tuple[list, list, list, list]:
+        """The four columns as Python lists of Python ints (memoised).
+
+        The scalar evaluation loops iterate these: converting an ``int64``
+        array once via ``tolist()`` is far cheaper than boxing a numpy
+        scalar per element during iteration, and Python ints carry the
+        arbitrary-precision shifts the predictors rely on.
+        """
+        if self._lists is None:
+            cols = tuple(
+                col.tolist() if isinstance(col, np.ndarray) else col
+                for col in (self.tag, self.ip, self.a, self.b)
+            )
+            self._lists = cols  # type: ignore[assignment]
+        return self._lists  # type: ignore[return-value]
+
+    def arrays(self) -> Tuple["np.ndarray", ...]:
+        """The four columns as ``int64`` numpy arrays (memoised).
+
+        Zero-copy when the stream came from a cache file; a single
+        ``np.asarray`` conversion otherwise.  This is the batch kernels'
+        input format.
+        """
+        if self._arrays is None:
+            self._arrays = tuple(
+                col if isinstance(col, np.ndarray)
+                else np.asarray(col, dtype=np.int64)
+                for col in (self.tag, self.ip, self.a, self.b)
+            )
+        return self._arrays
+
     def __iter__(self) -> Iterator[Tuple[int, int, int, int]]:
-        return zip(self.tag, self.ip, self.a, self.b)
+        return zip(*self.lists())
 
     def tuples(self) -> List[tuple]:
         """Materialise the stream as the legacy list of 4-tuples."""
-        return list(zip(self.tag, self.ip, self.a, self.b))
+        return list(zip(*self.lists()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"PredictorStream(events={len(self)}, loads={self.loads})"
@@ -374,11 +419,13 @@ class Trace:
                 else:  # older cache files lack the value column
                     setattr(trace, col, [0] * len(data["kind"]))
             if all(key in data for key in _STREAM_COLUMNS):
+                # Kept as int64 arrays: the batch kernels consume them
+                # zero-copy and scalar consumers convert via .lists().
                 trace._predictor_stream = PredictorStream(
-                    data["ps_tag"].tolist(),
-                    data["ps_ip"].tolist(),
-                    data["ps_a"].tolist(),
-                    data["ps_b"].tolist(),
+                    data["ps_tag"],
+                    data["ps_ip"],
+                    data["ps_a"],
+                    data["ps_b"],
                 )
         return trace
 
@@ -396,10 +443,10 @@ class Trace:
             if not all(key in data for key in _STREAM_COLUMNS):
                 return None
             return PredictorStream(
-                data["ps_tag"].tolist(),
-                data["ps_ip"].tolist(),
-                data["ps_a"].tolist(),
-                data["ps_b"].tolist(),
+                data["ps_tag"],
+                data["ps_ip"],
+                data["ps_a"],
+                data["ps_b"],
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,4 +1,4 @@
-"""Differential engine: replay one trace through three implementations.
+"""Differential engine: replay one trace through four implementations.
 
 For a given *variant* (a named predictor configuration) the engine runs the
 same predictor-visible event stream through
@@ -6,18 +6,28 @@ same predictor-visible event stream through
 1. the spec oracle (:mod:`repro.verify.oracle`),
 2. the production predictor via :func:`repro.eval.runner.run_on_stream`,
 3. a second production instance via
-   :func:`repro.eval.runner.run_on_columns`,
+   :func:`repro.eval.runner.run_on_columns` (scalar columnar loop), and
+4. the batch-kernel path (:func:`repro.kernels.run_batch`) when the
+   variant's predictor supports it and the numpy backend is selected,
 
-and requires all three to be bit-identical: every per-access prediction
+and requires all of them to be bit-identical: every per-access prediction
 (address, speculative flag, source component), the final metrics counters,
 the final Link Table contents, and the final per-load confidence state.
 The first divergence is reported with the state each path had at the
 moment the diverging prediction was made.
 
+The vectorized lane is allowed to *decline* — a kernel raising
+:class:`~repro.kernels.BatchFallback` (set-associative Link Table, the
+``unless_stride_selected`` policy) or a forced ``python`` backend simply
+drops the fourth lane, because that is exactly what the production
+dispatch does.  Lane absence is reported to callers via
+:func:`vectorized_lane_ran` so smoke jobs can assert the lane actually
+executed where it should.
+
 Variants use deliberately *small* geometries — a 64-entry Load Buffer and
 a few-hundred-entry Link Table alias orders of magnitude sooner than the
 paper's 4K-entry structures, which is exactly where update-ordering bugs
-hide, and three-way replay of fuzzed traces stays cheap.
+hide, and four-way replay of fuzzed traces stays cheap.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ __all__ = [
     "VariantSpec",
     "Divergence",
     "verify_events",
+    "vectorized_lane_ran",
     "fuzz_variant_names",
 ]
 
@@ -337,6 +348,59 @@ def _columns_of(events: Events) -> PredictorStream:
     return PredictorStream(tags, ips, a, b)
 
 
+def _vectorized_lane(
+    spec: VariantSpec,
+    events: Events,
+    warmup_loads: int,
+    backend: Optional[str],
+) -> Optional[tuple]:
+    """Run the batch-kernel lane; ``None`` when the lane does not apply.
+
+    Mirrors the production dispatch in :func:`repro.kernels.try_run_batch`:
+    the lane is skipped when the backend resolves to ``python``, when the
+    variant's predictor has no kernels, or when the kernel declines with
+    :class:`~repro.kernels.BatchFallback`.  Returns ``(records, metrics,
+    predictor)`` on success, with the predictor holding end-of-stream
+    state for the architectural comparisons.
+    """
+    from ..kernels import (
+        BACKEND_NUMPY,
+        batch_records,
+        fold_metrics,
+        resolve_backend,
+        run_batch,
+        supports_batch,
+    )
+
+    if (backend or resolve_backend()) != BACKEND_NUMPY:
+        return None
+    subject = spec.production()
+    if not supports_batch(subject):
+        return None
+    stream = _columns_of(events)
+    result = run_batch(subject, stream, warmup_loads)
+    if result is None:
+        return None
+    metrics = PredictorMetrics()
+    fold_metrics(result, metrics, warmup_loads)
+    metrics.backend = BACKEND_NUMPY
+    return batch_records(result, stream), metrics, subject
+
+
+def vectorized_lane_ran(
+    variant_name: str,
+    events: Events,
+    backend: Optional[str] = None,
+) -> bool:
+    """Whether the four-way replay's kernel lane executes for this input.
+
+    Used by parity smoke jobs to assert the fourth lane is live (a replay
+    where every kernel silently declined would vacuously "pass").
+    """
+    spec = VARIANTS[variant_name]
+    return _vectorized_lane(spec, events, 0, backend) is not None
+
+
 class _StopReplay(Exception):
     pass
 
@@ -463,12 +527,15 @@ def verify_events(
     variant_name: str,
     events: Events,
     warmup_loads: int = 0,
+    backend: Optional[str] = None,
 ) -> Optional[Divergence]:
-    """Replay ``events`` through all three paths; None means bit-identical.
+    """Replay ``events`` through all four paths; None means bit-identical.
 
     ``events`` follows the predictor-stream convention: ``(tag, ip, a, b)``
     rows with tag 1 = load (a=address, b=offset), 0 = branch (a=taken),
-    2 = call, 3 = return.
+    2 = call, 3 = return.  ``backend`` forces the kernel lane on
+    (``"numpy"``) or off (``"python"``); by default it follows the same
+    ``REPRO_BACKEND`` selection the evaluation runs honour.
     """
     spec = VARIANTS[variant_name]
 
@@ -493,16 +560,25 @@ def verify_events(
         observer=_recording_observer(column_records),
     )
 
-    # Per-access behaviour, pairwise against the oracle and across the two
+    vector = _vectorized_lane(spec, events, warmup_loads, backend)
+
+    # Per-access behaviour, pairwise against the oracle and across the
     # production paths (the oracle diff localises spec bugs; the production
-    # pair diff localises fast-path bugs even if both disagree with the
-    # oracle in the same way).
+    # pair diffs localise fast-path bugs even if both disagree with the
+    # oracle in the same way; the columns/vectorized pair isolates kernel
+    # bugs from event-decoding bugs).
     pairs = [
         ("oracle", oracle_records, spec.oracle,
          "stream", stream_records, spec.production),
         ("stream", stream_records, spec.production,
          "columns", column_records, spec.production),
     ]
+    if vector is not None:
+        vector_records, vector_metrics, vectorized = vector
+        pairs.append(
+            ("columns", column_records, spec.production,
+             "vectorized", vector_records, spec.production)
+        )
     for args in pairs:
         divergence = _first_record_divergence(variant_name, events, *args)
         if divergence is not None:
@@ -514,6 +590,8 @@ def verify_events(
         "stream": (stream_metrics, streamed),
         "columns": (column_metrics, columnar),
     }
+    if vector is not None:
+        by_path["vectorized"] = (vector_metrics, vectorized)
     reference = _metrics_tuple(stream_metrics)
     for path, (metrics, _) in by_path.items():
         if _metrics_tuple(metrics) != reference:

@@ -21,8 +21,18 @@ at a specific failure hypothesis:
 ``branch_churn``
     Dense branch/call/return traffic churning the GHR, so CFI patterns
     record, block and redeem continuously.
+``generation_churn``
+    Loads hammering a single Load Buffer set so entries are evicted and
+    re-inserted repeatedly — each re-insertion starts a new *generation*
+    in the batch kernels' grouped solver, which must match the scalar
+    LRU replacement exactly (way choice, LRU stamps, eviction counts).
 ``mixed``
     A bit of everything, including repeated subsequences.
+
+Each case also draws a random *backend* (``python``/``numpy``), so the
+four-way replay alternates between running and skipping the kernel lane —
+any divergence between a kernelised case and its scalar twin shows up as
+a columns-vs-vectorized mismatch.
 
 When a case diverges it is shrunk with a ddmin-style pass to a minimal
 event list that still reproduces the divergence.
@@ -155,11 +165,46 @@ def _gen_branch_churn(rng: random.Random, count: int) -> Events:
     return events
 
 
+def _gen_generation_churn(rng: random.Random, count: int) -> Events:
+    # More same-set IPs than any variant has ways (the widest LB in the
+    # registry is 4-way), so residency is a revolving door: every IP is
+    # evicted and re-inserted many times over a 300-event case.
+    ips = [
+        _IP_BASE + way * _SET_ALIAS_STRIDE
+        for way in range(rng.randint(5, 9))
+    ]
+    # Per-IP address behaviour: some stride, some repeat, some wander —
+    # re-insertion must restart confidence/history from scratch either way.
+    behaviours = {
+        ip: rng.choice(("stride", "repeat", "wander")) for ip in ips
+    }
+    cursors = {ip: 0x30000 + index * 0x800 for index, ip in enumerate(ips)}
+    events: Events = []
+    while len(events) < count:
+        if rng.random() < 0.7:
+            ip = rng.choice(ips)
+        else:
+            # A hot favourite raises hit runs between its own evictions.
+            ip = ips[0]
+        behaviour = behaviours[ip]
+        if behaviour == "stride":
+            cursors[ip] += 16
+            addr = cursors[ip]
+        elif behaviour == "repeat":
+            addr = cursors[ip]
+        else:
+            addr = cursors[ip] + rng.randrange(0, 64) * 8
+        events.append(_load(ip, addr, rng.choice((0, 8))))
+        if rng.random() < 0.1:
+            events.append(_branch(_IP_BASE - 8, rng.random() < 0.5))
+    return events
+
+
 def _gen_mixed(rng: random.Random, count: int) -> Events:
     parts: Events = []
     generators = [
         _gen_aliasing, _gen_rds_walk, _gen_history_edge,
-        _gen_offset_wrap, _gen_branch_churn,
+        _gen_offset_wrap, _gen_branch_churn, _gen_generation_churn,
     ]
     while len(parts) < count:
         chunk = rng.choice(generators)(rng, rng.randint(10, 40))
@@ -176,6 +221,7 @@ PROFILES: Dict[str, Callable[[random.Random, int], Events]] = {
     "history_edge": _gen_history_edge,
     "offset_wrap": _gen_offset_wrap,
     "branch_churn": _gen_branch_churn,
+    "generation_churn": _gen_generation_churn,
     "mixed": _gen_mixed,
 }
 
@@ -242,11 +288,13 @@ class FuzzFailure:
     case_seed: int
     events: Events
     divergence: Divergence
+    backend: str = "numpy"
 
     def describe(self) -> str:
         return (
             f"variant={self.variant} profile={self.profile}"
-            f" seed={self.case_seed} events={len(self.events)}\n"
+            f" seed={self.case_seed} backend={self.backend}"
+            f" events={len(self.events)}\n"
             + self.divergence.format()
         )
 
@@ -258,31 +306,40 @@ def run_fuzz(
     variants: Optional[Sequence[str]] = None,
     max_failures: int = 5,
     progress: Optional[Callable[[int, int], None]] = None,
+    backends: Optional[Sequence[str]] = None,
 ) -> List[FuzzFailure]:
     """Run ``cases`` differential fuzz cases; return minimised failures.
 
     Fully deterministic in ``seed``: case ``i`` derives its own sub-seed,
-    variant and profile from the master stream, so one failing case can be
-    reproduced independently of the rest of the run.
+    variant, profile and backend from the master stream, so one failing
+    case can be reproduced independently of the rest of the run.  The
+    backend draw alternates the replay between three-way (scalar only)
+    and four-way (kernel lane live) so the two dispatch paths are both
+    fuzzed; pass ``backends=("numpy",)`` to pin the kernel lane on.
     """
     master = random.Random(seed)
     names = list(variants) if variants else fuzz_variant_names()
     profile_names = list(PROFILES)
+    lanes = list(backends) if backends else ["numpy", "numpy", "python"]
     failures: List[FuzzFailure] = []
     for case_index in range(cases):
         case_seed = master.randrange(1 << 30)
+        backend = master.choice(lanes)
         variant = names[case_index % len(names)]
         profile = profile_names[(case_index // len(names)) % len(profile_names)]
         events = generate_events(profile, case_seed, events_per_case)
-        divergence = verify_events(variant, events)
+        divergence = verify_events(variant, events, backend=backend)
         if progress is not None:
             progress(case_index + 1, cases)
         if divergence is None:
             continue
         minimal = shrink_events(
-            events, lambda candidate: verify_events(variant, candidate) is not None
+            events,
+            lambda candidate: verify_events(
+                variant, candidate, backend=backend
+            ) is not None,
         )
-        final = verify_events(variant, minimal) or divergence
+        final = verify_events(variant, minimal, backend=backend) or divergence
         failures.append(
             FuzzFailure(
                 variant=variant,
@@ -290,6 +347,7 @@ def run_fuzz(
                 case_seed=case_seed,
                 events=minimal,
                 divergence=final,
+                backend=backend,
             )
         )
         if len(failures) >= max_failures:

@@ -1,0 +1,29 @@
+"""R006 bad fixture: three broken slices of the batch contract."""
+
+
+class PlanWithoutCommit:
+    """predict_batch alone: the dispatcher's commit call would crash."""
+
+    supports_batch = True
+
+    def predict_batch(self, batch):
+        return [None] * batch.n_loads
+
+
+class CommitWithoutPlan:
+    """update_batch alone: dead code the dispatcher can never reach."""
+
+    supports_batch = True
+
+    def update_batch(self, batch, result):
+        pass
+
+
+class UndeclaredKernels:
+    """Both kernels but no supports_batch: silently stays scalar."""
+
+    def predict_batch(self, batch):
+        return [None] * batch.n_loads
+
+    def update_batch(self, batch, result):
+        pass

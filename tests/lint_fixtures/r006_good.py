@@ -1,0 +1,25 @@
+"""R006 good fixture: the full batch contract, declared together."""
+
+
+class BatchedPredictor:
+    #: Advertises the kernel pair to the dispatch layer.
+    supports_batch = True
+
+    def predict(self, ip):
+        return None
+
+    def predict_batch(self, batch):
+        return [None] * batch.n_loads
+
+    def update_batch(self, batch, result):
+        pass
+
+
+class ScalarOnlyPredictor:
+    """No batch surface at all: the contract does not apply."""
+
+    def predict(self, ip):
+        return None
+
+    def update(self, ip, addr):
+        pass

@@ -43,6 +43,7 @@ FIXTURE_PATHS = {
     "R003": "src/repro/predictors/fixture.py",
     "R004": "src/repro/eval/fixture.py",
     "R005": "src/repro/eval/fixture.py",
+    "R006": "src/repro/predictors/fixture.py",
 }
 
 
@@ -96,6 +97,13 @@ class TestFixturePairs:
         assert len(findings) == 1
         assert findings[0].symbol == "run_on_columns"
         assert "on_branch" in findings[0].message
+
+    def test_r006_reports_each_contract_slice(self):
+        findings = _lint_fixture("R006", "bad")
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert "update_batch" in by_symbol["PlanWithoutCommit"]
+        assert "predict_batch" in by_symbol["CommitWithoutPlan"]
+        assert "supports_batch" in by_symbol["UndeclaredKernels"]
 
 
 #: The PR 3 bug, reconstructed: reset() forgets the embedded branch
@@ -206,8 +214,10 @@ class TestSuppressions:
 
 
 class TestFrameworkPlumbing:
-    def test_all_five_rules_registered(self):
-        assert sorted(all_rules()) == ["R001", "R002", "R003", "R004", "R005"]
+    def test_all_six_rules_registered(self):
+        assert sorted(all_rules()) == [
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        ]
 
     def test_unknown_rule_id_raises(self):
         with pytest.raises(KeyError):
