@@ -45,6 +45,40 @@ def _warm_traces() -> None:
         suites.get_trace(name)
 
 
+def _observed_backend(requested: str) -> str:
+    """The backend the measured run actually exercises.
+
+    Requesting ``numpy`` does not guarantee kernel execution: a predictor
+    without batch support, or overrides outside the kernels' modelled
+    envelope, make every dispatch raise ``BatchFallback`` and the whole
+    run silently executes the scalar loop.  The engine records the
+    *observed* backend on each ``JobResult`` (``"python"`` when no kernel
+    dispatch succeeded), so probe one small job per fig5 variant and
+    record what the measurement will really be.
+    """
+    from repro.eval.engine import Job, execute_job
+    from repro.eval.experiments import quick_trace_set
+    from repro.telemetry.stats import DEFAULT_VARIANTS
+
+    previous = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = requested
+    try:
+        trace = quick_trace_set()[0]
+        for variant, (factory, overrides, gap) in DEFAULT_VARIANTS.items():
+            result = execute_job(Job(
+                trace=trace, factory=factory, overrides=dict(overrides),
+                gap=gap, instructions=2000, variant=variant,
+            ))
+            if result.backend == "numpy":
+                return "numpy"
+        return "python"
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+
+
 def _measure(backend: str, jobs: int) -> float:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
@@ -117,7 +151,15 @@ def main(argv=None) -> int:
 
     print("warming trace caches ...", flush=True)
     _warm_traces()
-    print(f"timing fig5 --full (backend={args.backend},"
+    observed = _observed_backend(args.backend)
+    if observed != args.backend:
+        print(
+            f"requested backend {args.backend!r}, but every kernel"
+            f" dispatch fell back to the scalar loop — recording the"
+            f" observed backend {observed!r}",
+            file=sys.stderr,
+        )
+    print(f"timing fig5 --full (backend={observed},"
           f" jobs={args.jobs}) ...", flush=True)
     wall = _measure(args.backend, args.jobs)
     entry = {
@@ -125,7 +167,7 @@ def main(argv=None) -> int:
         "recorded_at": datetime.datetime.now(datetime.timezone.utc)
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "wall_s": round(wall, 1),
-        "backend": args.backend,
+        "backend": observed,
         "jobs": args.jobs,
         "python": "%d.%d.%d" % sys.version_info[:3],
         "note": args.note,

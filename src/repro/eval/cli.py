@@ -19,18 +19,21 @@ Usage (via ``python -m repro``)::
     python -m repro stats diff base/ cand/       # flag perf/accuracy drift
     python -m repro stats validate telemetry/    # schema-check manifests
     python -m repro stats bench --gate 15        # fig5 wall-clock history
+    python -m repro stats slo slo_report.json    # render a serving SLO report
     python -m repro run fig5 --full --backend python   # force scalar path
+    python -m repro serve --port 8377            # prediction-as-a-service
+    python -m repro serve --shards 2 --telemetry # sharded, with manifests
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
 from ..workloads import suites
+from . import config as run_config
 from . import experiments as E
 from .engine import resolve_jobs
 
@@ -72,18 +75,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     driver, _ = EXPERIMENTS[args.experiment]
 
-    if args.jobs is not None and args.jobs < 1:
-        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+    try:
+        # One resolution point: defaults < environment < CLI flags.  The
+        # resolved config is exported back into the environment, which
+        # stays the transport to engine pool workers — every driver
+        # signature is unchanged and workers inherit the settings.
+        run_config.apply(run_config.from_args(args))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
         return 2
-    if args.jobs is not None:
-        # The engine reads REPRO_JOBS at run time; routing the flag through
-        # the environment keeps every driver signature unchanged and the
-        # setting inheritable by pool workers.
-        os.environ["REPRO_JOBS"] = str(args.jobs)
-    if getattr(args, "backend", None) is not None:
-        # Same route as --jobs: the kernel dispatcher reads REPRO_BACKEND
-        # per job, and pool workers inherit the environment.
-        os.environ["REPRO_BACKEND"] = args.backend
 
     traces: Optional[List[str]]
     if args.traces:
@@ -170,10 +170,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"unknown variant {name!r};"
                   f" choose from {sorted(VARIANTS)}", file=sys.stderr)
             return 2
-    if getattr(args, "backend", None) is not None:
-        # The vectorized differential lane honours the same selection the
-        # evaluation runs do; see _cmd_run.
-        os.environ["REPRO_BACKEND"] = args.backend
+    # The vectorized differential lane honours the same backend selection
+    # the evaluation runs do; see _cmd_run.
+    run_config.apply(run_config.from_args(args))
     failed = False
 
     # 1. Saved regression traces always replay first: they are tiny, and a
@@ -233,8 +232,6 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.traces:
         from .engine import KIND_VERIFY, Job, run_jobs
 
-        if args.jobs is not None:
-            os.environ["REPRO_JOBS"] = str(args.jobs)
         names = args.variants or ["cap", "stride", "hybrid"]
         jobs = [
             Job(trace=trace, kind=KIND_VERIFY, variant=variant,
@@ -262,8 +259,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     mode = args.stats_mode
     if mode == "breakdown":
-        if args.jobs is not None:
-            os.environ["REPRO_JOBS"] = str(args.jobs)
+        run_config.apply(run_config.from_args(args))
         if args.traces:
             traces = args.traces
         elif args.full:
@@ -308,6 +304,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         print(diff.render())
         return 0 if diff.clean else 1
+    if mode == "slo":
+        problems = S.check_slo_report(args.file)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 2
+        print(S.render_slo_report(args.file))
+        return 0
     if mode == "bench":
         problems = S.check_bench_file(args.file)
         if problems:
@@ -324,6 +328,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 0
     print(f"unknown stats mode {mode!r}", file=sys.stderr)
     return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from ..serve.server import ServeConfig, serve
+
+    try:
+        run_config.apply(run_config.from_args(args))
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        session_timeout_s=args.timeout,
+        shards=args.shards,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -485,6 +515,42 @@ def build_parser() -> argparse.ArgumentParser:
              " the best earlier run on the same backend and worker count",
     )
     bench.set_defaults(func=_cmd_stats)
+
+    slo = stats_sub.add_parser(
+        "slo",
+        help="validate and render a serving SLO report"
+             " (benchmarks/loadgen.py output)",
+    )
+    slo.add_argument("file", metavar="FILE",
+                     help="SLO report JSON written by the load generator")
+    slo.set_defaults(func=_cmd_stats)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="prediction-as-a-service: asyncio server over sessions",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8377,
+                           help="TCP port (0 = ephemeral; the bound port"
+                                " is printed on the ready line)")
+    serve_cmd.add_argument("--max-sessions", type=int, default=256,
+                           help="concurrently open session cap")
+    serve_cmd.add_argument("--queue-depth", type=int, default=64,
+                           help="bounded feed queue (backpressure valve)")
+    serve_cmd.add_argument("--max-batch", type=int, default=16,
+                           help="max feeds micro-batched per executor hop")
+    serve_cmd.add_argument("--timeout", type=float, default=30.0,
+                           help="per-feed budget in seconds")
+    serve_cmd.add_argument("--shards", type=int, default=0, metavar="N",
+                           help="session worker processes (0 = in-process)")
+    serve_cmd.add_argument("--backend", choices=["python", "numpy"],
+                           default=None,
+                           help="evaluation backend for served sessions")
+    serve_cmd.add_argument("--telemetry", action="store_true",
+                           help="write kind=serve run manifests per session")
+    serve_cmd.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                           help="manifest output directory")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(
         "lint",

@@ -48,6 +48,7 @@ from ..timing.machine import MachineConfig
 from ..timing.ooo import simulate
 from ..trace.trace import PredictorStream, Trace
 from ..workloads import suites as suite_registry
+from . import config as run_config
 from .metrics import AttributionCounters, PredictorMetrics
 from .runner import run_on_columns
 
@@ -177,7 +178,7 @@ def _memoized(key: tuple, loader: Callable[[], Any]) -> Any:
 
 
 def _memoized_trace(name: str, instructions: Optional[int]) -> Trace:
-    key = ("trace", name, instructions, os.environ.get("REPRO_TRACE_CACHE"))
+    key = ("trace", name, instructions, run_config.trace_cache_dir())
     return _memoized(
         key, lambda: suite_registry.get_trace(name, instructions)
     )
@@ -191,7 +192,7 @@ def _memoized_stream(
     A trace already memoised (by a timing job) donates its stream instead
     of re-reading anything.
     """
-    cache_dir = os.environ.get("REPRO_TRACE_CACHE")
+    cache_dir = run_config.trace_cache_dir()
     trace = _MEMO.get(("trace", name, instructions, cache_dir))
     if trace is not None:
         return trace.predictor_columns()
@@ -400,24 +401,9 @@ def execute_job(job: Job) -> JobResult:
     return result
 
 
-def resolve_jobs(explicit: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``REPRO_JOBS``, else CPUs."""
-    if explicit is not None:
-        workers = int(explicit)
-    else:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        if env:
-            try:
-                workers = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"REPRO_JOBS must be an integer, got {env!r}"
-                ) from None
-        else:
-            workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {workers}")
-    return workers
+# Re-exported from the single configuration-resolution point; kept under
+# its historical name because drivers and tests import it from here.
+resolve_jobs = run_config.resolve_jobs
 
 
 def run_jobs(

@@ -1,21 +1,30 @@
 """Drive a predictor over a trace and collect metrics.
 
-The runner walks the trace's predictor stream (loads, branches, calls,
-returns in program order), calls ``predict``/``update`` for every dynamic
-load and maintains the correctness bookkeeping.  With the default
-immediate-update predictors this reproduces the Section 4 machine model;
-wrapping the predictor in :class:`repro.pipeline.PipelinedPredictor` gives
-the Section 5 model without changing this runner.
+.. deprecated:: PR 7
+   The evaluation loops live in :mod:`repro.serve.session`, behind the
+   sessionized :class:`~repro.serve.session.PredictorSession` facade
+   (``session.feed(events)`` → predictions, ``session.finish()`` →
+   metrics).  The functions here are thin delegating shims kept so
+   existing drivers, figures and tests import from their historical
+   home; new code should construct a session (stateful, incremental) or
+   call the :mod:`repro.serve.session` loops directly (one-shot).
+
+The contract is unchanged: the runner walks the trace's predictor stream
+(loads, branches, calls, returns in program order), calls
+``predict``/``update`` for every dynamic load and maintains the
+correctness bookkeeping.  With the default immediate-update predictors
+this reproduces the Section 4 machine model; wrapping the predictor in
+:class:`repro.pipeline.PipelinedPredictor` gives the Section 5 model
+without changing the loops.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Union
 
-from ..kernels import try_run_batch
 from ..predictors.base import AddressPredictor
 from ..trace.trace import PredictorStream, Trace
-from .metrics import AttributionCounters, PredictorMetrics
+from .metrics import PredictorMetrics
 
 __all__ = ["run_predictor", "run_on_stream", "run_on_columns"]
 
@@ -27,49 +36,10 @@ def run_on_stream(
     warmup_loads: int = 0,
     observer: Optional[Callable] = None,
 ) -> PredictorMetrics:
-    """Evaluate ``predictor`` over a predictor stream.
+    """Shim for :func:`repro.serve.session.run_on_stream` (see above)."""
+    from ..serve.session import run_on_stream as impl
 
-    ``stream`` items follow :meth:`repro.trace.Trace.predictor_stream`:
-    ``(1, ip, addr, offset)`` loads, ``(0, ip, taken, 0)`` branches,
-    ``(2, ip, 0, 0)`` calls, ``(3, ip, 0, 0)`` returns.
-
-    ``warmup_loads`` loads at the start train the predictor without being
-    counted (the paper's 30M-instruction traces amortise warm-up; short
-    synthetic traces may not).
-
-    ``observer`` (when given) is called as ``observer(ip, offset, actual,
-    prediction)`` for every dynamic load, between prediction and table
-    update — the hook the differential verification harness uses to diff
-    per-access behaviour across evaluation paths.
-    """
-    predict = predictor.predict
-    update = predictor.update
-    on_branch = predictor.on_branch
-    on_call = predictor.on_call
-    on_return = predictor.on_return
-    seen_loads = 0
-    metrics.backend = "python"
-
-    for tag, ip, a, b in stream:
-        if tag == 1:
-            prediction = predict(ip, b)
-            if observer is not None:
-                observer(ip, b, a, prediction)
-            seen_loads += 1
-            if seen_loads > warmup_loads:
-                metrics.record(
-                    made=prediction.made,
-                    speculative=prediction.speculative,
-                    correct=prediction.address == a,
-                )
-            update(ip, b, a, prediction)
-        elif tag == 0:
-            on_branch(ip, bool(a))
-        elif tag == 2:
-            on_call(ip)
-        else:
-            on_return(ip)
-    return metrics
+    return impl(predictor, stream, metrics, warmup_loads, observer)
 
 
 def run_on_columns(
@@ -79,62 +49,10 @@ def run_on_columns(
     warmup_loads: int = 0,
     observer: Optional[Callable] = None,
 ) -> PredictorMetrics:
-    """Columnar fast path: evaluate over a :class:`PredictorStream`.
+    """Shim for :func:`repro.serve.session.run_on_columns` (see above)."""
+    from ..serve.session import run_on_columns as impl
 
-    Dispatches to the batch kernels (:mod:`repro.kernels`) when the
-    predictor advertises ``supports_batch`` and the resolved backend is
-    ``numpy``; otherwise runs the scalar reference loop.  The scalar loop
-    is semantically identical to :func:`run_on_stream`, with two wins over
-    iterating a tuple list: ``zip`` over the four parallel columns lets
-    CPython recycle the event tuple every iteration instead of keeping one
-    4-tuple per event alive, and the correctness counters accumulate in
-    locals (folded into ``metrics`` once at the end) instead of paying a
-    method call per dynamic load.  ``metrics.backend`` records which path
-    actually ran.
-    """
-    if try_run_batch(predictor, stream, metrics, warmup_loads, observer):
-        return metrics
-    predict = predictor.predict
-    update = predictor.update
-    on_branch = predictor.on_branch
-    on_call = predictor.on_call
-    on_return = predictor.on_return
-    seen_loads = 0
-    loads = predictions = correct_predictions = 0
-    speculative = correct_speculative = 0
-    metrics.backend = "python"
-
-    for tag, ip, a, b in zip(*stream.lists()):
-        if tag == 1:
-            prediction = predict(ip, b)
-            if observer is not None:
-                observer(ip, b, a, prediction)
-            seen_loads += 1
-            if seen_loads > warmup_loads:
-                loads += 1
-                correct = prediction.address == a
-                if prediction.made:
-                    predictions += 1
-                    if correct:
-                        correct_predictions += 1
-                if prediction.speculative:
-                    speculative += 1
-                    if correct:
-                        correct_speculative += 1
-            update(ip, b, a, prediction)
-        elif tag == 0:
-            on_branch(ip, bool(a))
-        elif tag == 2:
-            on_call(ip)
-        else:
-            on_return(ip)
-
-    metrics.loads += loads
-    metrics.predictions += predictions
-    metrics.correct_predictions += correct_predictions
-    metrics.speculative += speculative
-    metrics.correct_speculative += correct_speculative
-    return metrics
+    return impl(predictor, stream, metrics, warmup_loads, observer)
 
 
 def run_predictor(
@@ -144,49 +62,7 @@ def run_predictor(
     warmup_loads: int = 0,
     instrument: bool = False,
 ) -> PredictorMetrics:
-    """Evaluate ``predictor`` on ``trace`` and return fresh metrics.
+    """Shim for :func:`repro.serve.session.run_predictor` (see above)."""
+    from ..serve.session import run_predictor as impl
 
-    ``trace`` may be a :class:`Trace` (evaluated through its columnar
-    stream), a :class:`PredictorStream`, or an already-extracted list of
-    stream tuples (useful when evaluating many predictors over one trace).
-
-    With ``instrument=True`` an attribution probe is attached to the
-    predictor tree and the result is an
-    :class:`~repro.eval.metrics.AttributionCounters` carrying the
-    per-component misprediction-cause breakdown.
-    """
-    trace_name = ""
-    suite = ""
-    if isinstance(trace, Trace):
-        stream: Union[PredictorStream, list] = trace.predictor_columns()
-        trace_name = trace.name
-        suite = trace.meta.get("suite", "")
-    else:
-        stream = trace
-    metrics: PredictorMetrics
-    probe = None
-    if instrument:
-        # Imported here: the runner itself stays telemetry-free for the
-        # (overwhelmingly common) uninstrumented path.
-        from ..telemetry.instrumentation import (
-            AttributionProbe,
-            instrument_predictor,
-        )
-
-        probe = AttributionProbe()
-        instrument_predictor(predictor, probe)
-        metrics = AttributionCounters(
-            name=name or predictor.name, trace=trace_name, suite=suite,
-        )
-    else:
-        metrics = PredictorMetrics(
-            name=name or predictor.name, trace=trace_name, suite=suite,
-        )
-    if isinstance(stream, PredictorStream):
-        run_on_columns(predictor, stream, metrics, warmup_loads)
-    else:
-        run_on_stream(predictor, stream, metrics, warmup_loads)
-    if probe is not None:
-        assert isinstance(metrics, AttributionCounters)
-        metrics.absorb_probe(probe)
-    return metrics
+    return impl(predictor, trace, name, warmup_loads, instrument)

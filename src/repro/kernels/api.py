@@ -23,7 +23,6 @@ CLI's ``--backend`` flag sets the same variable).
 from __future__ import annotations
 
 import importlib.util
-import os
 from typing import Optional, Tuple
 
 __all__ = [
@@ -96,18 +95,10 @@ def resolve_backend(override: Optional[str] = None) -> str:
 
     Precedence: explicit ``override`` argument, then the ``REPRO_BACKEND``
     environment variable, then feature detection (numpy when importable).
-    Unknown names raise rather than silently degrade — a forced backend is
-    a correctness assertion in CI.
+    The resolution itself lives in :mod:`repro.eval.config` — the single
+    sanctioned environment-reading module — and is imported lazily here so
+    the kernel layer stays importable on its own.
     """
-    env = os.environ.get(BACKEND_ENV, "")  # repro-lint: disable=R002
-    choice = override or env.strip().lower()
-    if not choice:
-        return BACKEND_NUMPY if len(available_backends()) > 1 else BACKEND_PYTHON
-    if choice not in (BACKEND_PYTHON, BACKEND_NUMPY):
-        raise ValueError(
-            f"unknown backend {choice!r} (expected"
-            f" {BACKEND_PYTHON!r} or {BACKEND_NUMPY!r})"
-        )
-    if choice == BACKEND_NUMPY and len(available_backends()) == 1:
-        raise RuntimeError("numpy backend requested but numpy is unavailable")
-    return choice
+    from ..eval.config import resolve_backend as _resolve
+
+    return _resolve(override)

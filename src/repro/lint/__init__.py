@@ -19,7 +19,7 @@ Architecture
   ====  =====================================================
   R001  reset-completeness (the PR 3 bug class)
   R002  determinism (unseeded RNG, wall clock, set iteration,
-        environment reads outside the eval layer)
+        environment reads outside repro.eval.config)
   R003  bit-width hygiene (unmasked address/history arithmetic)
   R004  engine picklability (lambdas/local defs in Job payloads)
   R005  stream/columns parity (run_on_stream vs run_on_columns)

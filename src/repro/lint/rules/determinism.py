@@ -17,11 +17,14 @@ the classic ways Python code goes quietly non-deterministic:
   bare ``dict.popitem()`` (argument-less; ``OrderedDict.popitem(last=…)``
   is deterministic and not flagged).  Set iteration order depends on the
   interning of the elements and the hash seed.
-* **Environment reads outside the eval layer** — ``os.environ[...]`` /
-  ``os.getenv(...)`` anywhere except ``eval/`` (the engine and CLI own
-  runtime configuration).  A predictor or trace generator that consults
+* **Environment reads outside the RunConfig module** —
+  ``os.environ[...]`` / ``os.getenv(...)`` anywhere except
+  ``repro/eval/config.py``, the typed resolution point every runtime
+  knob funnels through.  A predictor or trace generator that consults
   the environment produces figures nobody can reproduce from the command
-  line alone.
+  line alone; even engine and telemetry code must go through
+  :mod:`repro.eval.config` so precedence (defaults < env < CLI flags)
+  is decided in exactly one place.
 """
 
 from __future__ import annotations
@@ -75,10 +78,17 @@ CLOCK_FUNCS = frozenset(
     }
 )
 
-#: Path components in which environment reads are sanctioned (runtime
-#: configuration belongs to the engine/CLI layer; telemetry is opt-in via
-#: REPRO_TELEMETRY* switches and never feeds simulated state).
-ENV_ALLOWED_PACKAGES = ("eval", "telemetry")
+#: The only modules in which environment reads are sanctioned: the typed
+#: RunConfig resolution point (every knob funnels through it) and the
+#: lint package's own fixtures.  Until PR 7 whole packages (eval/,
+#: telemetry/) were exempt; collapsing the knob sprawl into
+#: ``repro.eval.config`` let the allowlist shrink to one module.
+ENV_ALLOWED_MODULES = ("eval/config.py",)
+
+
+def _env_read_allowed(module: "ModuleInfo") -> bool:
+    relpath = module.relpath.replace("\\", "/")
+    return any(relpath.endswith(suffix) for suffix in ENV_ALLOWED_MODULES)
 
 
 def _is_set_expression(node: ast.AST) -> bool:
@@ -164,8 +174,8 @@ class DeterminismRule(Rule):
                 " OrderedDict.popitem(last=...) or an explicit key",
             )
 
-        # os.getenv / os.environ.get outside the eval layer.
-        if not module.in_package(*ENV_ALLOWED_PACKAGES):
+        # os.getenv / os.environ.get outside the RunConfig module.
+        if not _env_read_allowed(module):
             if chain == ("os", "getenv") or (
                 len(chain) >= 3
                 and chain[-3:] == ("os", "environ", "get")
@@ -175,15 +185,16 @@ class DeterminismRule(Rule):
                 return self.finding(
                     module,
                     call,
-                    "environment read outside the eval layer; route"
-                    " configuration through explicit parameters",
+                    "environment read outside repro.eval.config; route"
+                    " configuration through RunConfig or explicit"
+                    " parameters",
                 )
         return None
 
     def _check_environ_subscript(
         self, module: ModuleInfo, node: ast.Subscript
     ) -> Optional[Finding]:
-        if module.in_package(*ENV_ALLOWED_PACKAGES):
+        if _env_read_allowed(module):
             return None
         if not isinstance(node.ctx, ast.Load):
             return None
@@ -192,7 +203,8 @@ class DeterminismRule(Rule):
             return self.finding(
                 module,
                 node,
-                "environment read outside the eval layer; route"
-                " configuration through explicit parameters",
+                "environment read outside repro.eval.config; route"
+                " configuration through RunConfig or explicit"
+                " parameters",
             )
         return None

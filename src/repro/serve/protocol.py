@@ -1,0 +1,192 @@
+"""Wire protocol for the prediction service: length-prefixed frames.
+
+Every frame on the socket is::
+
+    +----------------+--------+-----------------------+
+    | length (u32 BE)| kind u8| payload (length-1 B)  |
+    +----------------+--------+-----------------------+
+
+``length`` counts the kind byte plus the payload, so an empty-payload
+frame has ``length == 1``.  Two payload kinds exist:
+
+* ``KIND_JSON`` (0) — a UTF-8 JSON object.  All control messages
+  (``open`` / ``finish`` / ``ping`` and every server response) use this
+  kind; ``feed`` may too, carrying events as a JSON list of
+  ``[tag, ip, a, b]`` quadruples.
+* ``KIND_EVENTS`` (1) — a packed binary event block: ``n`` events as
+  ``4*n`` little-endian signed 64-bit integers (``struct '<%dq'``), the
+  same ``(tag, ip, a, b)`` quadruples without JSON overhead.  Only
+  meaningful client→server, as a ``feed`` body.
+
+The framing layer is transport-agnostic and synchronous-friendly:
+:class:`FrameReader` is an incremental push parser (hand it bytes as
+they arrive, collect whole frames as they complete), used by the asyncio
+server, the blocking test client and the load generator alike.  Frames
+larger than :data:`MAX_FRAME` are a protocol error — the reader raises
+before buffering an attacker-sized allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "KIND_EVENTS",
+    "KIND_JSON",
+    "MAX_FRAME",
+    "FrameReader",
+    "ProtocolError",
+    "decode_events",
+    "decode_json",
+    "encode_events",
+    "encode_frame",
+    "encode_json",
+    "error_message",
+    "parse_feed_events",
+]
+
+#: Payload kinds.
+KIND_JSON = 0
+KIND_EVENTS = 1
+
+#: Hard ceiling on one frame (kind byte + payload), 16 MiB.  A feed of
+#: 16 MiB of packed events is ~500k events — far beyond any sane
+#: micro-batch; bigger almost certainly means a corrupt or hostile
+#: length prefix.
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+_EVENT_WIDTH = 32  # four int64 fields per event
+
+
+class ProtocolError(ValueError):
+    """Malformed frame or message; the connection should be closed."""
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """One wire frame: header + kind byte + payload."""
+    length = 1 + len(payload)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _HEADER.pack(length) + bytes([kind]) + payload
+
+
+def encode_json(message: Dict[str, Any]) -> bytes:
+    """A JSON control frame."""
+    return encode_frame(
+        KIND_JSON, json.dumps(message, separators=(",", ":")).encode("utf-8")
+    )
+
+
+def encode_events(events: List[tuple]) -> bytes:
+    """A packed binary ``feed`` frame from ``(tag, ip, a, b)`` tuples."""
+    flat: List[int] = []
+    for event in events:
+        if len(event) != 4:
+            raise ProtocolError(
+                f"event must be a (tag, ip, a, b) quadruple, got {event!r}"
+            )
+        flat.extend(int(v) for v in event)
+    payload = struct.pack(f"<{len(flat)}q", *flat)
+    return encode_frame(KIND_EVENTS, payload)
+
+
+def decode_events(payload: bytes) -> List[tuple]:
+    """Unpack a binary event payload back into quadruple tuples."""
+    if len(payload) % _EVENT_WIDTH:
+        raise ProtocolError(
+            f"event payload of {len(payload)} bytes is not a multiple"
+            f" of {_EVENT_WIDTH}"
+        )
+    count = len(payload) // _EVENT_WIDTH
+    flat = struct.unpack(f"<{4 * count}q", payload)
+    return [tuple(flat[i : i + 4]) for i in range(0, len(flat), 4)]
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    """Parse a JSON control payload, insisting on an object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"bad JSON payload: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("JSON payload must be an object")
+    return message
+
+
+def error_message(code: str, detail: str) -> Dict[str, Any]:
+    """The server's uniform error response body."""
+    return {"type": "error", "code": code, "detail": detail}
+
+
+class FrameReader:
+    """Incremental frame parser: push bytes in, pull whole frames out.
+
+    Handles partial frames (a header split across TCP segments, a payload
+    arriving byte by byte) without ever copying more than once, and
+    rejects oversized or undersized length prefixes *before* buffering
+    the body.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def push(self, data: bytes) -> Iterator[Tuple[int, bytes]]:
+        """Feed received bytes; yield every ``(kind, payload)`` completed."""
+        self._buffer.extend(data)
+        while True:
+            frame = self._pop_frame()
+            if frame is None:
+                return
+            yield frame
+
+    def _pop_frame(self) -> Optional[Tuple[int, bytes]]:
+        if len(self._buffer) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer)
+        if length < 1:
+            raise ProtocolError(f"frame length {length} < 1")
+        if length > self.max_frame:
+            raise ProtocolError(
+                f"frame length {length} exceeds maximum {self.max_frame}"
+            )
+        end = _HEADER.size + length
+        if len(self._buffer) < end:
+            return None
+        kind = self._buffer[_HEADER.size]
+        payload = bytes(self._buffer[_HEADER.size + 1 : end])
+        del self._buffer[:end]
+        return kind, payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+def parse_feed_events(kind: int, payload: bytes) -> List[tuple]:
+    """Events of a ``feed`` message, whichever encoding the client chose."""
+    if kind == KIND_EVENTS:
+        return decode_events(payload)
+    message = decode_json(payload)
+    if message.get("type") != "feed":
+        raise ProtocolError(
+            f"expected a feed message, got {message.get('type')!r}"
+        )
+    raw = message.get("events")
+    if not isinstance(raw, list):
+        raise ProtocolError("feed.events must be a list")
+    events: List[tuple] = []
+    for item in raw:
+        if not isinstance(item, list) or len(item) != 4:
+            raise ProtocolError(
+                f"feed event must be a [tag, ip, a, b] quadruple,"
+                f" got {item!r}"
+            )
+        events.append(tuple(int(v) for v in item))
+    return events

@@ -1,0 +1,657 @@
+"""Asyncio prediction server: ``python -m repro serve``.
+
+One TCP connection = one prediction session.  A client *opens* a session
+(naming a predictor factory and overrides), *feeds* chunks of the event
+stream (JSON or packed binary frames, see :mod:`repro.serve.protocol`)
+and receives one prediction record per dynamic load, then *finishes* to
+collect the session's metrics — the same counters an offline
+:func:`repro.eval.runner.run_on_columns` run would have produced.
+
+Operationally the server is built from three pieces:
+
+* **Micro-batching executor** — feeds from all connections funnel into
+  one bounded :class:`asyncio.Queue`; a worker task drains up to
+  ``max_batch`` pending feeds per tick and executes them in a single
+  thread-pool hop (the CPU-bound session work never blocks the event
+  loop, and concurrent first-feeds each reach the numpy batch kernels
+  when ``supports_batch`` holds).
+* **Backpressure and timeouts** — a full queue rejects the feed with an
+  ``overloaded`` error instead of buffering without bound; a feed that
+  exceeds ``session_timeout_s`` in queue+execution is answered with a
+  ``timeout`` error and its session is dropped.  Connections that vanish
+  mid-session count as dropped sessions in the stats.
+* **Graceful drain** — SIGTERM (and SIGINT) stops accepting connections,
+  lets queued feeds finish, answers them, then closes.  In-flight
+  sessions that never reached ``finish`` are counted dropped, so a clean
+  load-generator run asserts ``sessions_dropped == 0`` end to end.
+
+With ``shards > 0`` sessions are routed (sticky, by session id) to
+worker processes via :mod:`repro.serve.sharding`, reusing the engine's
+spec-over-the-boundary job machinery; the default in-process mode keeps
+pytest and debugging single-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import platform
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..telemetry import manifest as run_manifest
+from . import protocol
+from .protocol import (
+    KIND_EVENTS,
+    KIND_JSON,
+    FrameReader,
+    ProtocolError,
+)
+from .session import PredictorSession, SessionConfig
+
+__all__ = [
+    "PredictionServer",
+    "ServeConfig",
+    "ServeStats",
+    "session_manifest",
+    "write_session_manifest",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server tuning knobs (CLI flags; no environment reads here)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    #: Hard cap on concurrently open sessions; opens beyond it are refused.
+    max_sessions: int = 256
+    #: Bound of the shared feed queue — the backpressure valve.
+    queue_depth: int = 64
+    #: Maximum feeds drained into one executor hop.
+    max_batch: int = 16
+    #: Per-feed budget (queueing + execution), seconds.
+    session_timeout_s: float = 30.0
+    #: Worker processes for session execution; 0 = in-process.
+    shards: int = 0
+    max_frame: int = protocol.MAX_FRAME
+
+
+@dataclass
+class ServeStats:
+    """Server-lifetime counters, exposed over the ``stats`` message."""
+
+    sessions_opened: int = 0
+    sessions_finished: int = 0
+    sessions_dropped: int = 0
+    feeds: int = 0
+    loads: int = 0
+    kernel_feeds: int = 0
+    rejected_feeds: int = 0
+    timeouts: int = 0
+    protocol_errors: int = 0
+
+    def snapshot(self, active: int) -> Dict[str, Any]:
+        return {
+            "sessions_opened": self.sessions_opened,
+            "sessions_finished": self.sessions_finished,
+            "sessions_dropped": self.sessions_dropped,
+            "sessions_active": active,
+            "feeds": self.feeds,
+            "loads": self.loads,
+            "kernel_feeds": self.kernel_feeds,
+            "rejected_feeds": self.rejected_feeds,
+            "timeouts": self.timeouts,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+def _metrics_record(metrics: Any) -> Dict[str, Any]:
+    """The manifest/finish-response view of a metrics object."""
+    return {
+        "loads": metrics.loads,
+        "predictions": metrics.predictions,
+        "speculative": metrics.speculative,
+        "correct_speculative": metrics.correct_speculative,
+        "correct_predictions": metrics.correct_predictions,
+        "prediction_rate": metrics.prediction_rate,
+        "accuracy": metrics.accuracy,
+        "misprediction_rate": metrics.misprediction_rate,
+        "correct_rate": metrics.correct_rate,
+        "coverage": metrics.coverage,
+    }
+
+
+def session_manifest(
+    config: SessionConfig,
+    metrics: Any,
+    *,
+    events: int,
+    started_wall: float,
+    wall_s: float,
+    cpu_s: float,
+    backend: str,
+) -> Dict[str, Any]:
+    """One ``kind="serve"`` run manifest (``run_manifest.schema.json``)."""
+    attribution = None
+    if hasattr(metrics, "attribution"):
+        attribution = metrics.attribution()
+    return {
+        "schema": run_manifest.MANIFEST_SCHEMA_ID,
+        "config_hash": run_manifest.config_hash(config),
+        "job": {
+            "trace": config.trace,
+            "factory": config.factory,
+            "variant": config.variant or config.factory,
+            "kind": "serve",
+            "overrides": run_manifest.jsonable(config.overrides),
+            "instructions": None,
+            "warmup_fraction": 0.0,
+            "gap": config.gap,
+            "instrument": config.instrument,
+        },
+        "trace": {
+            "name": config.trace or "served-stream",
+            "suite": "serve",
+            "events": events,
+            "loads": metrics.loads,
+        },
+        "run": {
+            "started_at": run_manifest.iso_utc(started_wall),
+            "wall_s": wall_s,
+            "cpu_s": cpu_s,
+            "loads_per_sec": (
+                metrics.loads / wall_s if metrics.loads and wall_s > 0
+                else None
+            ),
+            "peak_rss_kb": run_manifest.peak_rss_kb(),
+            "pid": os.getpid(),
+            "python": platform.python_version(),
+            "backend": backend,
+        },
+        "metrics": _metrics_record(metrics),
+        "cycles": None,
+        "divergence": None,
+        "attribution": attribution,
+        "profile": None,
+    }
+
+
+def write_session_manifest(
+    session: PredictorSession,
+    started_wall: float,
+    started_perf: float,
+    started_cpu: float,
+) -> None:
+    """Write a finished session's manifest when telemetry is enabled."""
+    if not run_manifest.enabled():
+        return
+    manifest = session_manifest(
+        session.config,
+        session.metrics,
+        events=session.seen_events,
+        started_wall=started_wall,
+        wall_s=run_manifest.perf_clock() - started_perf,
+        cpu_s=run_manifest.cpu_clock() - started_cpu,
+        backend=session.backend,
+    )
+    run_manifest.write_manifest(manifest)
+
+
+@dataclass
+class _Connection:
+    """Per-connection serving state."""
+
+    peer: str
+    session_id: str = ""
+    session: Optional[PredictorSession] = None
+    #: Sharded sessions live in a worker; only the id is held here.
+    sharded: bool = False
+    finished: bool = False
+    started_wall: float = 0.0
+    started_perf: float = 0.0
+    started_cpu: float = 0.0
+
+
+#: One queued feed: (connection, events, response future).
+_FeedItem = Tuple[_Connection, List[tuple], "asyncio.Future[List[tuple]]"]
+
+
+class PredictionServer:
+    """The asyncio serving core; lifecycle: ``start`` → ... → ``shutdown``."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self._sessions_active = 0
+        self._session_counter = 0
+        self._queue: "asyncio.Queue[Optional[_FeedItem]]" = asyncio.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self._shards: Optional[Any] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_task: Optional["asyncio.Task[None]"] = None
+        self._draining = False
+        self._closed = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        if self.config.shards > 0:
+            from .sharding import ShardManager
+
+            self._shards = ShardManager(self.config.shards)
+            await self._shards.start()
+        self._worker_task = asyncio.ensure_future(self._batch_worker())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (POSIX event loops only)."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain queued feeds, then close everything."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: the sentinel is processed strictly after every queued
+        # feed, so by the time the worker exits all answers are out.
+        await self._queue.put(None)
+        if self._worker_task is not None:
+            await self._worker_task
+        if self._shards is not None:
+            await self._shards.close()
+        self._executor.shutdown(wait=True)
+        self._closed.set()
+
+    # -- micro-batching executor ---------------------------------------------
+
+    async def _batch_worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            batch: List[_FeedItem] = [item]
+            while len(batch) < self.config.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    # Keep the drain sentinel behind this final batch.
+                    self._queue.put_nowait(None)
+                    break
+                batch.append(extra)
+            if self._shards is not None:
+                await self._execute_sharded(batch)
+            else:
+                await loop.run_in_executor(
+                    self._executor, self._execute_local, loop, batch
+                )
+
+    def _execute_local(
+        self, loop: asyncio.AbstractEventLoop, batch: List[_FeedItem]
+    ) -> None:
+        for connection, events, future in batch:
+            session = connection.session
+            try:
+                assert session is not None
+                records = session.feed(events)
+            except BaseException as error:  # answered, not fatal
+                loop.call_soon_threadsafe(
+                    _resolve_error, future, error
+                )
+            else:
+                loop.call_soon_threadsafe(_resolve, future, records)
+
+    async def _execute_sharded(self, batch: List[_FeedItem]) -> None:
+        assert self._shards is not None
+
+        async def one(item: _FeedItem) -> None:
+            connection, events, future = item
+            try:
+                records = await self._shards.feed(
+                    connection.session_id, events
+                )
+            except BaseException as error:
+                _resolve_error(future, error)
+            else:
+                _resolve(future, records)
+
+        await asyncio.gather(*(one(item) for item in batch))
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        connection = _Connection(peer=str(peername))
+        frames = FrameReader(self.config.max_frame)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for kind, payload in frames.push(data):
+                    await self._dispatch(connection, kind, payload, writer)
+                await writer.drain()
+        except (ProtocolError, ConnectionResetError) as error:
+            self.stats.protocol_errors += 1
+            await self._try_send(
+                writer,
+                protocol.error_message("protocol", str(error)),
+            )
+        finally:
+            await self._teardown(connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _teardown(self, connection: _Connection) -> None:
+        """Account for a closed connection; unfinished sessions drop."""
+        if connection.session_id and not connection.finished:
+            self.stats.sessions_dropped += 1
+            self._sessions_active -= 1
+            if self._shards is not None and connection.sharded:
+                await self._shards.discard(connection.session_id)
+        connection.session = None
+        connection.session_id = ""
+
+    async def _dispatch(
+        self,
+        connection: _Connection,
+        kind: int,
+        payload: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if kind == KIND_EVENTS:
+            await self._on_feed(
+                connection, protocol.decode_events(payload), writer
+            )
+            return
+        if kind != KIND_JSON:
+            raise ProtocolError(f"unknown frame kind {kind}")
+        message = protocol.decode_json(payload)
+        mtype = message.get("type")
+        if mtype == "open":
+            await self._on_open(connection, message, writer)
+        elif mtype == "feed":
+            await self._on_feed(
+                connection,
+                protocol.parse_feed_events(KIND_JSON, payload),
+                writer,
+            )
+        elif mtype == "finish":
+            await self._on_finish(connection, writer)
+        elif mtype == "ping":
+            self._send(writer, {"type": "pong"})
+        elif mtype == "stats":
+            self._send(
+                writer,
+                {
+                    "type": "stats",
+                    **self.stats.snapshot(self._sessions_active),
+                },
+            )
+        else:
+            raise ProtocolError(f"unknown message type {mtype!r}")
+
+    # -- message handlers -------------------------------------------------------
+
+    async def _on_open(
+        self,
+        connection: _Connection,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if connection.session_id:
+            self._send(
+                writer,
+                protocol.error_message(
+                    "session", "connection already has an open session"
+                ),
+            )
+            return
+        if self._draining:
+            self._send(
+                writer,
+                protocol.error_message("draining", "server is shutting down"),
+            )
+            return
+        if self._sessions_active >= self.config.max_sessions:
+            self.stats.rejected_feeds += 1
+            self._send(
+                writer,
+                protocol.error_message(
+                    "overloaded",
+                    f"session limit {self.config.max_sessions} reached",
+                ),
+            )
+            return
+        try:
+            config = SessionConfig.from_dict(message)
+        except (TypeError, ValueError) as error:
+            self._send(
+                writer, protocol.error_message("config", str(error))
+            )
+            return
+        self._session_counter += 1
+        session_id = f"s{self._session_counter}"
+        try:
+            if self._shards is not None:
+                await self._shards.open(session_id, config)
+                connection.sharded = True
+            else:
+                connection.session = PredictorSession(config, session_id)
+        except Exception as error:
+            self._send(
+                writer, protocol.error_message("config", str(error))
+            )
+            return
+        connection.session_id = session_id
+        connection.finished = False
+        connection.started_wall = run_manifest.wall_clock()
+        connection.started_perf = run_manifest.perf_clock()
+        connection.started_cpu = run_manifest.cpu_clock()
+        self._sessions_active += 1
+        self.stats.sessions_opened += 1
+        self._send(
+            writer,
+            {
+                "type": "opened",
+                "session": session_id,
+                "shard": (
+                    self._shards.shard_of(session_id)
+                    if self._shards is not None
+                    else None
+                ),
+            },
+        )
+
+    async def _on_feed(
+        self,
+        connection: _Connection,
+        events: List[tuple],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if not connection.session_id or connection.finished:
+            self._send(
+                writer,
+                protocol.error_message("session", "no open session to feed"),
+            )
+            return
+        future: "asyncio.Future[List[tuple]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        try:
+            self._queue.put_nowait((connection, events, future))
+        except asyncio.QueueFull:
+            self.stats.rejected_feeds += 1
+            self._send(
+                writer,
+                protocol.error_message(
+                    "overloaded",
+                    f"feed queue depth {self.config.queue_depth} exceeded",
+                ),
+            )
+            return
+        try:
+            records = await asyncio.wait_for(
+                future, timeout=self.config.session_timeout_s
+            )
+        except asyncio.TimeoutError:
+            # The session may still be mid-execution in the worker; its
+            # state is no longer trustworthy for this client — drop it.
+            self.stats.timeouts += 1
+            self.stats.sessions_dropped += 1
+            self._sessions_active -= 1
+            connection.finished = True
+            self._send(
+                writer,
+                protocol.error_message(
+                    "timeout",
+                    f"feed exceeded {self.config.session_timeout_s}s budget",
+                ),
+            )
+            return
+        except Exception as error:
+            self._send(writer, protocol.error_message("session", str(error)))
+            return
+        self.stats.feeds += 1
+        self.stats.loads += len(records)
+        self._send(
+            writer,
+            {
+                "type": "predictions",
+                "session": connection.session_id,
+                "count": len(records),
+                "records": [list(record) for record in records],
+            },
+        )
+
+    async def _on_finish(
+        self, connection: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        if not connection.session_id or connection.finished:
+            self._send(
+                writer,
+                protocol.error_message("session", "no open session to finish"),
+            )
+            return
+        if self._shards is not None and connection.sharded:
+            summary = await self._shards.finish(connection.session_id)
+        else:
+            session = connection.session
+            assert session is not None
+            metrics = session.finish()
+            write_session_manifest(
+                session,
+                connection.started_wall,
+                connection.started_perf,
+                connection.started_cpu,
+            )
+            summary = {
+                "backend": session.backend,
+                "loads": session.seen_loads,
+                "events": session.seen_events,
+                "feeds": session.feeds,
+                "kernel_feeds": session.kernel_feeds,
+                "metrics": _metrics_record(metrics),
+                "attribution": (
+                    metrics.attribution()
+                    if hasattr(metrics, "attribution")
+                    else None
+                ),
+            }
+        connection.finished = True
+        self._sessions_active -= 1
+        self.stats.sessions_finished += 1
+        self.stats.kernel_feeds += int(summary.get("kernel_feeds") or 0)
+        self._send(
+            writer,
+            {
+                "type": "metrics",
+                "session": connection.session_id,
+                **summary,
+            },
+        )
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _send(
+        self, writer: asyncio.StreamWriter, message: Dict[str, Any]
+    ) -> None:
+        writer.write(protocol.encode_json(message))
+
+    async def _try_send(
+        self, writer: asyncio.StreamWriter, message: Dict[str, Any]
+    ) -> None:
+        try:
+            self._send(writer, message)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, RuntimeError):
+            pass
+
+
+def _resolve(future: "asyncio.Future[Any]", value: Any) -> None:
+    if not future.done():
+        future.set_result(value)
+
+
+def _resolve_error(future: "asyncio.Future[Any]", error: BaseException) -> None:
+    if not future.done():
+        future.set_exception(error)
+
+
+async def serve(config: ServeConfig, ready_line: bool = True) -> None:
+    """Run the server until a drain signal arrives (the CLI entry point)."""
+    server = PredictionServer(config)
+    await server.start()
+    server.install_signal_handlers()
+    if ready_line:
+        # The loadgen and the CI smoke test wait for this exact line.
+        print(
+            f"repro-serve listening on {config.host}:{server.port}",
+            flush=True,
+        )
+    await server.wait_closed()
+    snapshot = server.stats.snapshot(0)
+    print(
+        "repro-serve drained:"
+        f" opened={snapshot['sessions_opened']}"
+        f" finished={snapshot['sessions_finished']}"
+        f" dropped={snapshot['sessions_dropped']}",
+        flush=True,
+    )

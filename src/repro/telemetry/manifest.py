@@ -55,14 +55,22 @@ MANIFEST_SCHEMA_ID = "repro.run_manifest/v1"
 # ---------------------------------------------------------------------------
 
 def enabled() -> bool:
-    """Whether run telemetry is switched on (``REPRO_TELEMETRY=1``)."""
-    return os.environ.get("REPRO_TELEMETRY", "").strip() in ("1", "true", "on")
+    """Whether run telemetry is switched on (``REPRO_TELEMETRY=1``).
+
+    Resolution lives in :mod:`repro.eval.config` (the one sanctioned
+    environment-reading module); imported lazily so this module keeps its
+    no-simulator-imports property at import time.
+    """
+    from ..eval.config import telemetry_enabled
+
+    return telemetry_enabled()
 
 
 def output_dir() -> Path:
     """Manifest directory: ``REPRO_TELEMETRY_DIR``, default ``telemetry/``."""
-    override = os.environ.get("REPRO_TELEMETRY_DIR", "").strip()
-    return Path(override) if override else Path("telemetry")
+    from ..eval.config import telemetry_dir
+
+    return telemetry_dir()
 
 
 # ---------------------------------------------------------------------------

@@ -34,9 +34,14 @@ SITE_DEPTH = 3
 
 
 def enabled() -> bool:
-    """Whether profiling is requested (``REPRO_TELEMETRY_PROFILE=1``)."""
-    flag = os.environ.get("REPRO_TELEMETRY_PROFILE", "").strip()
-    return flag in ("1", "true", "on")
+    """Whether profiling is requested (``REPRO_TELEMETRY_PROFILE=1``).
+
+    Delegates to :mod:`repro.eval.config`, the single environment-reading
+    module the R002 determinism rule sanctions.
+    """
+    from ..eval.config import profile_enabled
+
+    return profile_enabled()
 
 
 def available() -> bool:

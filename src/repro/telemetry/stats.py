@@ -31,18 +31,22 @@ from ..eval.report import format_percent, format_table
 from ..workloads import suites as suite_registry
 from .instrumentation import ATTRIBUTION_FIELDS
 from .manifest import load_manifests
-from .schema import validate_manifest
+from .schema import load_schema, validate_manifest
+from .schema import validate as schema_validate
 
 __all__ = [
     "BENCH_SCHEMA_ID",
     "BreakdownResult",
     "DEFAULT_VARIANTS",
     "ManifestDiff",
+    "SLO_SCHEMA_ID",
     "bench_regression",
     "check_bench_file",
+    "check_slo_report",
     "collect_breakdown",
     "diff_manifests",
     "render_bench_history",
+    "render_slo_report",
     "summarize_manifests",
     "validate_directory",
 ]
@@ -550,3 +554,87 @@ def bench_regression(
             f" tolerance {tolerance * 100:.0f}%)"
         )
     return None
+
+
+# ---------------------------------------------------------------------------
+# Serving SLO reports (benchmarks/loadgen.py output)
+# ---------------------------------------------------------------------------
+
+SLO_SCHEMA_ID = "repro.slo_report/v1"
+SLO_SCHEMA_PATH = Path(__file__).with_name("slo_report.schema.json")
+
+
+def _load_slo(path: Union[str, Path]) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check_slo_report(path: Union[str, Path]) -> List[str]:
+    """Schema problems in a loadgen SLO report; ``[]`` when clean."""
+    try:
+        payload = _load_slo(path)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return schema_validate(payload, load_schema(SLO_SCHEMA_PATH))
+
+
+def _ms(value: Optional[float]) -> str:
+    return f"{value:.2f}" if value is not None else "-"
+
+
+def render_slo_report(path: Union[str, Path]) -> str:
+    """An SLO report as a saturation-curve table plus headline lines."""
+    payload = _load_slo(path)
+    server = payload["server"]
+    workload = payload["workload"]
+    totals = payload["totals"]
+    slo = payload["slo"]
+    rows = []
+    for step in payload["steps"]:
+        latency = step["latency_ms"]
+        throughput = step["throughput_lps"]
+        rows.append([
+            step["concurrency"],
+            step["sessions"],
+            step["loads"],
+            f"{throughput:.0f}" if throughput is not None else "-",
+            _ms(latency["p50"]),
+            _ms(latency.get("p90")),
+            _ms(latency["p99"]),
+            step["errors"],
+        ])
+    table = format_table(
+        ["conc", "sessions", "loads", "loads/s", "p50ms", "p90ms",
+         "p99ms", "errors"],
+        rows,
+        title=(
+            f"serving saturation curve — {workload['profile']}/"
+            f"{workload['mode']} @ {server['host']}:{server['port']}"
+        ),
+    )
+    backends = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(totals.get("backends", {}).items())
+    ) or "-"
+    throughput_lps = slo["throughput_lps"]
+    lines = [
+        table,
+        "",
+        (
+            f"SLO: p50={_ms(slo['p50_ms'])}ms p99={_ms(slo['p99_ms'])}ms"
+            + (
+                f" throughput={throughput_lps:.0f} loads/s"
+                if throughput_lps is not None
+                else " throughput=-"
+            )
+        ),
+        (
+            f"totals: sessions={totals['sessions']}"
+            f" loads={totals['loads']} errors={totals['errors']}"
+            f" dropped={totals['dropped_sessions']}"
+            f" rejected={totals.get('rejected_feeds')}"
+            f" timeouts={totals.get('timeouts')}"
+            f" backends: {backends}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -233,10 +233,9 @@ def default_instructions() -> int:
     # Documented CI knob (docs/performance.md): scales trace *length*, never
     # trace *content* — the same seed still generates the same events, so a
     # scaled run is a deterministic prefix of the full one.
-    scale = float(os.environ.get("REPRO_TRACE_SCALE", "1.0"))  # repro-lint: disable=R002
-    if scale <= 0:
-        raise ValueError("REPRO_TRACE_SCALE must be positive")
-    return max(1000, int(DEFAULT_INSTRUCTIONS * scale))
+    from ..eval.config import trace_scale
+
+    return max(1000, int(DEFAULT_INSTRUCTIONS * trace_scale()))
 
 
 def trace_names(suite: Optional[str] = None) -> List[str]:
@@ -277,7 +276,9 @@ def _cache_dir() -> Path:
     # Documented cache-location knob (CI points it at a tmpfs).  It moves
     # where identical bytes are stored; cache contents are content-addressed
     # by (_CACHE_VERSION, trace, instructions), so results cannot change.
-    override = os.environ.get("REPRO_TRACE_CACHE")  # repro-lint: disable=R002
+    from ..eval.config import trace_cache_dir
+
+    override = trace_cache_dir()
     if override:
         return Path(override)
     return Path.cwd() / ".trace_cache"

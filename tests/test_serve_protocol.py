@@ -1,0 +1,132 @@
+"""Wire protocol: framing, partial delivery, hostile inputs."""
+
+import struct
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    KIND_EVENTS,
+    KIND_JSON,
+    MAX_FRAME,
+    FrameReader,
+    ProtocolError,
+    decode_events,
+    decode_json,
+    encode_events,
+    encode_frame,
+    encode_json,
+    parse_feed_events,
+)
+
+EVENTS = [(1, 0x4000, 1234, 8), (0, 0x4004, 1, 0), (1, 0x4008, -7, -1)]
+
+
+class TestFraming:
+    def test_json_roundtrip_single_push(self):
+        frame = encode_json({"type": "ping", "n": 3})
+        reader = FrameReader()
+        frames = list(reader.push(frame))
+        assert frames == [(KIND_JSON, b'{"type":"ping","n":3}')]
+        assert decode_json(frames[0][1]) == {"type": "ping", "n": 3}
+
+    def test_partial_frames_byte_by_byte(self):
+        # A header split across TCP segments and a payload arriving one
+        # byte at a time must still parse into exactly the sent frames.
+        wire = encode_json({"a": 1}) + encode_events(EVENTS)
+        reader = FrameReader()
+        collected = []
+        for i in range(len(wire)):
+            collected.extend(reader.push(wire[i : i + 1]))
+        assert len(collected) == 2
+        assert collected[0] == (KIND_JSON, b'{"a":1}')
+        assert collected[1][0] == KIND_EVENTS
+        assert decode_events(collected[1][1]) == EVENTS
+        assert reader.pending_bytes == 0
+
+    def test_many_frames_one_push(self):
+        wire = b"".join(encode_json({"i": i}) for i in range(10))
+        frames = list(FrameReader().push(wire))
+        assert [decode_json(p)["i"] for _, p in frames] == list(range(10))
+
+    def test_pending_bytes_tracks_incomplete_frame(self):
+        frame = encode_json({"x": 1})
+        reader = FrameReader()
+        assert list(reader.push(frame[:5])) == []
+        assert reader.pending_bytes == 5
+
+    def test_oversized_length_prefix_rejected_before_body(self):
+        # The reader must raise on the prefix alone — it never buffers
+        # (or waits for) an attacker-sized body.
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="exceeds maximum"):
+            list(FrameReader().push(header))
+
+    def test_custom_max_frame(self):
+        small = FrameReader(max_frame=16)
+        with pytest.raises(ProtocolError, match="exceeds maximum"):
+            list(small.push(encode_json({"k": "v" * 64})))
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="< 1"):
+            list(FrameReader().push(struct.pack(">I", 0)))
+
+    def test_encode_frame_rejects_oversized_payload(self):
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            encode_frame(KIND_JSON, b"x" * MAX_FRAME)
+
+
+class TestPayloads:
+    def test_events_roundtrip_with_negatives(self):
+        assert decode_events(
+            encode_events(EVENTS)[5:]  # strip header + kind byte
+        ) == EVENTS
+
+    def test_encode_events_rejects_non_quadruple(self):
+        with pytest.raises(ProtocolError, match="quadruple"):
+            encode_events([(1, 2, 3)])
+
+    def test_decode_events_rejects_ragged_payload(self):
+        with pytest.raises(ProtocolError, match="not a multiple"):
+            decode_events(b"\x00" * 33)
+
+    def test_decode_json_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            decode_json(b"[1,2]")
+
+    def test_decode_json_rejects_bad_bytes(self):
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            decode_json(b"\xff\xfe{")
+
+
+class TestParseFeedEvents:
+    def test_binary_kind(self):
+        payload = encode_events(EVENTS)[5:]
+        assert parse_feed_events(KIND_EVENTS, payload) == EVENTS
+
+    def test_json_feed(self):
+        message = {"type": "feed", "events": [[1, 2, 3, 4], [0, 5, 1, 0]]}
+        payload = encode_json(message)[5:]
+        assert parse_feed_events(KIND_JSON, payload) == [
+            (1, 2, 3, 4), (0, 5, 1, 0),
+        ]
+
+    def test_json_wrong_type_rejected(self):
+        payload = encode_json({"type": "open"})[5:]
+        with pytest.raises(ProtocolError, match="expected a feed"):
+            parse_feed_events(KIND_JSON, payload)
+
+    def test_json_events_must_be_list(self):
+        payload = encode_json({"type": "feed", "events": 7})[5:]
+        with pytest.raises(ProtocolError, match="must be a list"):
+            parse_feed_events(KIND_JSON, payload)
+
+    def test_json_event_must_be_quadruple(self):
+        payload = encode_json({"type": "feed", "events": [[1, 2]]})[5:]
+        with pytest.raises(ProtocolError, match="quadruple"):
+            parse_feed_events(KIND_JSON, payload)
+
+    def test_error_message_shape(self):
+        assert protocol.error_message("overloaded", "queue full") == {
+            "type": "error", "code": "overloaded", "detail": "queue full",
+        }

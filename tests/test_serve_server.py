@@ -1,0 +1,454 @@
+"""Prediction server end-to-end: lifecycle, backpressure, drain, shards.
+
+Plain ``asyncio.run`` inside synchronous test functions — no asyncio
+pytest plugin is assumed.  Every test binds an ephemeral port
+(``port=0``) so suites can run in parallel.  Deterministic overload and
+timeout windows come from a stub session whose ``feed`` blocks until
+the test releases it.
+"""
+
+import asyncio
+import struct
+import threading
+
+import pytest
+
+from repro.eval.metrics import PredictorMetrics
+from repro.serve import protocol
+from repro.serve import server as server_mod
+from repro.serve.server import PredictionServer, ServeConfig
+from repro.verify.fuzz import generate_events
+
+EVENTS = [tuple(e) for e in generate_events("mixed", 0, 300)]
+
+
+class _Client:
+    """Minimal framed client with split send/recv for in-flight tests."""
+
+    def __init__(self, port):
+        self.port = port
+        self.frames = protocol.FrameReader()
+
+    async def connect(self):
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+        return self
+
+    async def send(self, frame):
+        self.writer.write(frame)
+        await self.writer.drain()
+
+    async def recv(self):
+        while True:
+            data = await self.reader.read(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for _kind, payload in self.frames.push(data):
+                return protocol.decode_json(payload)
+
+    async def rpc(self, frame):
+        await self.send(frame)
+        return await self.recv()
+
+    async def close(self):
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _start(config=None):
+    server = PredictionServer(config or ServeConfig(port=0))
+    await server.start()
+    return server
+
+
+def _open_msg(**extra):
+    return protocol.encode_json(
+        {"type": "open", "factory": "stride", **extra}
+    )
+
+
+class _BlockingSession:
+    """Stub session: ``feed`` blocks until the test releases it."""
+
+    instances = []
+
+    def __init__(self, config, session_id=""):
+        self.config = config
+        self.session_id = session_id
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.seen_loads = 0
+        self.seen_events = 0
+        self.feeds = 0
+        self.kernel_feeds = 0
+        self.finished = False
+        self.metrics = PredictorMetrics(name="stub", suite="serve")
+        _BlockingSession.instances.append(self)
+
+    backend = "python"
+
+    def feed(self, events, observer=None):
+        self.entered.set()
+        assert self.release.wait(10), "test never released the stub"
+        self.feeds += 1
+        return []
+
+    def finish(self):
+        self.finished = True
+        return self.metrics
+
+
+class TestRoundTrip:
+    def test_open_feed_finish(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            opened = await client.rpc(_open_msg(factory="hybrid"))
+            assert opened["type"] == "opened"
+            assert opened["shard"] is None
+
+            # Binary feed, then a JSON feed on the now-trained session.
+            first = await client.rpc(protocol.encode_events(EVENTS[:200]))
+            assert first["type"] == "predictions"
+            assert first["count"] == sum(
+                1 for e in EVENTS[:200] if e[0] == 1
+            )
+            assert all(len(record) == 6 for record in first["records"])
+            second = await client.rpc(protocol.encode_json({
+                "type": "feed",
+                "events": [list(e) for e in EVENTS[200:]],
+            }))
+            assert second["type"] == "predictions"
+
+            finish = await client.rpc(
+                protocol.encode_json({"type": "finish"})
+            )
+            assert finish["type"] == "metrics"
+            assert finish["backend"] == "numpy"
+            assert finish["loads"] == first["count"] + second["count"]
+            assert finish["metrics"]["loads"] == finish["loads"]
+
+            pong = await client.rpc(protocol.encode_json({"type": "ping"}))
+            assert pong == {"type": "pong"}
+            stats = await client.rpc(
+                protocol.encode_json({"type": "stats"})
+            )
+            assert stats["sessions_finished"] == 1
+            assert stats["sessions_dropped"] == 0
+            assert stats["kernel_feeds"] == 1
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_feed_without_open_rejected(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            reply = await client.rpc(protocol.encode_events(EVENTS[:10]))
+            assert reply["type"] == "error" and reply["code"] == "session"
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_second_open_on_connection_rejected(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            assert (await client.rpc(_open_msg()))["type"] == "opened"
+            again = await client.rpc(_open_msg())
+            assert again["type"] == "error" and again["code"] == "session"
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_bad_config_rejected(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            reply = await client.rpc(_open_msg(overrides=[1, 2]))
+            assert reply["type"] == "error" and reply["code"] == "config"
+            reply = await client.rpc(_open_msg(factory="bogus"))
+            assert reply["type"] == "error" and reply["code"] == "config"
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_session_limit(self):
+        async def scenario():
+            server = await _start(ServeConfig(port=0, max_sessions=1))
+            first = await _Client(server.port).connect()
+            assert (await first.rpc(_open_msg()))["type"] == "opened"
+            second = await _Client(server.port).connect()
+            reply = await second.rpc(_open_msg())
+            assert reply["type"] == "error"
+            assert reply["code"] == "overloaded"
+            await first.close()
+            await second.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestProtocolHostility:
+    def test_oversized_frame_counts_protocol_error(self):
+        async def scenario():
+            server = await _start(ServeConfig(port=0, max_frame=1024))
+            client = await _Client(server.port).connect()
+            await client.send(struct.pack(">I", 1 << 30))
+            reply = await client.recv()
+            assert reply["type"] == "error"
+            assert reply["code"] == "protocol"
+            with pytest.raises(ConnectionError):
+                await client.recv()
+            await client.close()
+            assert server.stats.protocol_errors == 1
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_unknown_message_type_is_protocol_error(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            reply = await client.rpc(
+                protocol.encode_json({"type": "nope"})
+            )
+            assert reply["type"] == "error"
+            assert reply["code"] == "protocol"
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestOverloadAndTimeout:
+    def test_backpressure_rejects_when_queue_full(self, monkeypatch):
+        monkeypatch.setattr(
+            server_mod, "PredictorSession", _BlockingSession
+        )
+        monkeypatch.setattr(_BlockingSession, "instances", [])
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = await _start(
+                ServeConfig(port=0, queue_depth=1, max_batch=1)
+            )
+            a = await _Client(server.port).connect()
+            b = await _Client(server.port).connect()
+            c = await _Client(server.port).connect()
+            for client in (a, b, c):
+                assert (await client.rpc(_open_msg()))["type"] == "opened"
+            stub_a, stub_b, _stub_c = _BlockingSession.instances
+
+            # A's feed occupies the single worker slot (blocked in the
+            # stub) ...
+            await a.send(protocol.encode_events(EVENTS[:4]))
+            assert await loop.run_in_executor(
+                None, stub_a.entered.wait, 5
+            )
+            # ... B's feed fills the depth-1 queue ...
+            await b.send(protocol.encode_events(EVENTS[:4]))
+            while server._queue.qsize() < 1:
+                await asyncio.sleep(0.01)
+            # ... so C's feed is rejected immediately, not buffered.
+            reply = await c.rpc(protocol.encode_events(EVENTS[:4]))
+            assert reply["type"] == "error"
+            assert reply["code"] == "overloaded"
+            assert server.stats.rejected_feeds == 1
+
+            # Releasing the stubs answers A and B normally — the
+            # overload poisoned nobody else's session.
+            stub_a.release.set()
+            stub_b.release.set()
+            assert (await a.recv())["type"] == "predictions"
+            assert (await b.recv())["type"] == "predictions"
+            for client in (a, b, c):
+                await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_timeout_drops_session(self, monkeypatch):
+        monkeypatch.setattr(
+            server_mod, "PredictorSession", _BlockingSession
+        )
+        monkeypatch.setattr(_BlockingSession, "instances", [])
+
+        async def scenario():
+            server = await _start(
+                ServeConfig(port=0, session_timeout_s=0.1)
+            )
+            client = await _Client(server.port).connect()
+            assert (await client.rpc(_open_msg()))["type"] == "opened"
+            reply = await client.rpc(protocol.encode_events(EVENTS[:4]))
+            assert reply["type"] == "error" and reply["code"] == "timeout"
+            assert server.stats.timeouts == 1
+            assert server.stats.sessions_dropped == 1
+            # The timed-out session cannot be fed again.
+            reply = await client.rpc(protocol.encode_events(EVENTS[:4]))
+            assert reply["type"] == "error" and reply["code"] == "session"
+            # Unblock the worker thread before shutting down.
+            for stub in _BlockingSession.instances:
+                stub.release.set()
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestDisconnectAndDrain:
+    def test_disconnect_without_finish_counts_dropped(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            assert (await client.rpc(_open_msg()))["type"] == "opened"
+            reply = await client.rpc(protocol.encode_events(EVENTS[:100]))
+            assert reply["type"] == "predictions"
+            await client.close()
+            # The handler observes EOF asynchronously.
+            for _ in range(500):
+                if server.stats.sessions_dropped:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats.sessions_dropped == 1
+            assert server._sessions_active == 0
+
+            # Other sessions keep working after the drop.
+            other = await _Client(server.port).connect()
+            assert (await other.rpc(_open_msg()))["type"] == "opened"
+            reply = await other.rpc(protocol.encode_events(EVENTS[:50]))
+            assert reply["type"] == "predictions"
+            finish = await other.rpc(
+                protocol.encode_json({"type": "finish"})
+            )
+            assert finish["type"] == "metrics"
+            await other.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_disconnect_mid_feed_does_not_poison_others(self, monkeypatch):
+        monkeypatch.setattr(
+            server_mod, "PredictorSession", _BlockingSession
+        )
+        monkeypatch.setattr(_BlockingSession, "instances", [])
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = await _start(ServeConfig(port=0, max_batch=1))
+            a = await _Client(server.port).connect()
+            b = await _Client(server.port).connect()
+            assert (await a.rpc(_open_msg()))["type"] == "opened"
+            assert (await b.rpc(_open_msg()))["type"] == "opened"
+            stub_a, stub_b = _BlockingSession.instances
+
+            # A's feed is mid-execution when A vanishes.
+            await a.send(protocol.encode_events(EVENTS[:4]))
+            assert await loop.run_in_executor(
+                None, stub_a.entered.wait, 5
+            )
+            await a.close()
+            stub_a.release.set()
+            for _ in range(500):
+                if server.stats.sessions_dropped:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats.sessions_dropped == 1
+
+            # B is unaffected.
+            stub_b.release.set()
+            reply = await b.rpc(protocol.encode_events(EVENTS[:4]))
+            assert reply["type"] == "predictions"
+            finish = await b.rpc(protocol.encode_json({"type": "finish"}))
+            assert finish["type"] == "metrics"
+            await b.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_drain_refuses_new_opens(self):
+        async def scenario():
+            server = await _start()
+            client = await _Client(server.port).connect()
+            assert (await client.rpc(_open_msg()))["type"] == "opened"
+            reply = await client.rpc(protocol.encode_events(EVENTS[:100]))
+            assert reply["type"] == "predictions"
+            finish = await client.rpc(
+                protocol.encode_json({"type": "finish"})
+            )
+            assert finish["type"] == "metrics"
+
+            # A second connection established *before* the drain begins:
+            # it survives the listener closing, but its open is refused.
+            late = await _Client(server.port).connect()
+            shutdown = asyncio.ensure_future(server.shutdown())
+            await asyncio.sleep(0)
+            reply = await late.rpc(_open_msg())
+            assert reply["type"] == "error"
+            assert reply["code"] == "draining"
+            await client.close()
+            await late.close()
+            await shutdown
+            assert server.stats.sessions_dropped == 0
+
+        asyncio.run(scenario())
+
+
+class TestSharded:
+    def test_sharded_open_feed_finish(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+
+        async def scenario():
+            server = await _start(ServeConfig(port=0, shards=1))
+            client = await _Client(server.port).connect()
+            opened = await client.rpc(_open_msg(factory="hybrid"))
+            assert opened["type"] == "opened"
+            assert opened["shard"] == 0
+            reply = await client.rpc(protocol.encode_events(EVENTS))
+            assert reply["type"] == "predictions"
+            finish = await client.rpc(
+                protocol.encode_json({"type": "finish"})
+            )
+            assert finish["type"] == "metrics"
+            assert finish["backend"] == "numpy"
+            assert finish["loads"] == reply["count"]
+            stats = await client.rpc(
+                protocol.encode_json({"type": "stats"})
+            )
+            assert stats["sessions_dropped"] == 0
+            await client.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_sharded_matches_local(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+
+        async def run_one(config):
+            server = await _start(config)
+            client = await _Client(server.port).connect()
+            await client.rpc(_open_msg(factory="hybrid"))
+            reply = await client.rpc(protocol.encode_events(EVENTS))
+            finish = await client.rpc(
+                protocol.encode_json({"type": "finish"})
+            )
+            await client.close()
+            await server.shutdown()
+            return reply["records"], finish["metrics"]
+
+        async def scenario():
+            local = await run_one(ServeConfig(port=0))
+            sharded = await run_one(ServeConfig(port=0, shards=1))
+            assert local == sharded
+
+        asyncio.run(scenario())
