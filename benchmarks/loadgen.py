@@ -45,6 +45,30 @@ from repro.verify.fuzz import generate_events  # noqa: E402
 SLO_SCHEMA_PATH = SRC / "repro" / "telemetry" / "slo_report.schema.json"
 READY_PREFIX = "repro-serve listening on "
 
+#: Per-process memo of replayed trace streams (one .npz read per run).
+_TRACE_EVENTS: Dict[str, List[tuple]] = {}
+
+
+def trace_events(name: str, count: int) -> List[tuple]:
+    """Predictor-visible events of a suite/registry trace, cycled to count.
+
+    Replaying an ingested trace through the server uses the exact stream
+    the offline evaluators consume (``suites.get_predictor_stream``), so
+    served metrics are comparable with engine runs on the same trace.
+    """
+    base = _TRACE_EVENTS.get(name)
+    if base is None:
+        from repro.workloads import suites
+
+        base = suites.get_predictor_stream(name).tuples()
+        _TRACE_EVENTS[name] = base
+    if not base:
+        raise SystemExit(f"trace {name!r} has no predictor-visible events")
+    events: List[tuple] = []
+    while len(events) < count:
+        events.extend(base[: count - len(events)])
+    return events
+
 
 def percentile(sorted_values: List[float], q: float) -> Optional[float]:
     """Nearest-rank percentile over an ascending list (None when empty)."""
@@ -124,11 +148,13 @@ async def run_session(
     sends on a fixed schedule, so queueing delay shows up as latency.
     """
     outcome = SessionOutcome()
-    events = generate_events(
-        args.profile,
-        args.seed + session_index,
-        args.events_per_feed * args.feeds_per_session,
-    )
+    total_events = args.events_per_feed * args.feeds_per_session
+    if args.trace:
+        events = trace_events(args.trace, total_events)
+    else:
+        events = generate_events(
+            args.profile, args.seed + session_index, total_events,
+        )
     chunks = [
         events[i : i + args.events_per_feed]
         for i in range(0, len(events), args.events_per_feed)
@@ -255,6 +281,7 @@ async def run_ramp(args: argparse.Namespace, port: int) -> Dict[str, Any]:
         },
         "workload": {
             "profile": args.profile,
+            "trace": args.trace,
             "seed": args.seed,
             "mode": args.mode,
             "events_per_feed": args.events_per_feed,
@@ -359,6 +386,9 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     workload.add_argument("--profile", default="mixed",
                           help="fuzz workload profile (see repro.verify"
                                ".fuzz)")
+    workload.add_argument("--trace", default=None, metavar="NAME",
+                          help="replay a suite/registry trace's predictor"
+                               " stream instead of fuzz-profile events")
     workload.add_argument("--seed", type=int, default=0)
     workload.add_argument("--factory", default="hybrid",
                           help="predictor factory served sessions use")

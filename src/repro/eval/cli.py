@@ -23,6 +23,9 @@ Usage (via ``python -m repro``)::
     python -m repro run fig5 --full --backend python   # force scalar path
     python -m repro serve --port 8377            # prediction-as-a-service
     python -m repro serve --shards 2 --telemetry # sharded, with manifests
+    python -m repro ingest convert t.trc t.npz   # external trace -> Trace
+    python -m repro ingest validate              # check the trace registry
+    python -m repro run fig5 --traces ext_quick  # registry set in a figure
 """
 
 from __future__ import annotations
@@ -58,6 +61,8 @@ EXPERIMENTS: Dict[str, tuple] = {
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    from ..workloads import registry
+
     print("experiments:")
     for name, (_, description) in EXPERIMENTS.items():
         print(f"  {name:<18} {description}")
@@ -65,6 +70,17 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("suites / traces:")
     for suite in suites.SUITE_NAMES:
         print(f"  {suite:<5} {' '.join(suites.trace_names(suite))}")
+    external = registry.trace_names()
+    if external:
+        print()
+        print("registry traces (external):")
+        for name in external:
+            print(f"  {suites.suite_of(name):<5} {name}")
+        reg = registry.get_registry()
+        if reg is not None and reg.sets:
+            print("registry sets:")
+            for set_name, members in reg.sets.items():
+                print(f"  {set_name:<12} {' '.join(members)}")
     return 0
 
 
@@ -87,7 +103,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     traces: Optional[List[str]]
     if args.traces:
-        traces = args.traces
+        # Registry set names expand to their members; plain trace names
+        # (built-in or registry) pass through untouched.
+        from ..workloads import registry
+
+        traces = registry.expand_trace_names(args.traces)
     elif args.full:
         traces = suites.trace_names()
     else:
@@ -362,6 +382,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint_command(args)
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from ..ingest.cli import run_ingest_command
+
+    return run_ingest_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -393,6 +419,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="predictor evaluation backend (default:"
                           " REPRO_BACKEND env var, else numpy when"
                           " available)")
+    run.add_argument("--registry", default=None, metavar="MANIFEST",
+                     help="benchmark-set registry manifest (default:"
+                          " REPRO_REGISTRY env var, else"
+                          " benchmarks/traces/registry.json)")
     run.set_defaults(func=_cmd_run)
 
     summarize = sub.add_parser("summarize", help="print trace statistics")
@@ -560,6 +590,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="convert/describe/validate external traces and the"
+             " benchmark-set registry",
+    )
+    from ..ingest.cli import add_ingest_arguments
+
+    add_ingest_arguments(ingest)
+    ingest.set_defaults(func=_cmd_ingest)
 
     return parser
 

@@ -34,6 +34,7 @@ __all__ = [
     "ENV_BACKEND",
     "ENV_JOBS",
     "ENV_PROFILE",
+    "ENV_REGISTRY",
     "ENV_TELEMETRY",
     "ENV_TELEMETRY_DIR",
     "ENV_TRACE_CACHE",
@@ -43,6 +44,7 @@ __all__ = [
     "from_args",
     "from_env",
     "profile_enabled",
+    "registry_manifest",
     "resolve_backend",
     "resolve_jobs",
     "telemetry_dir",
@@ -58,6 +60,7 @@ ENV_TELEMETRY_DIR = "REPRO_TELEMETRY_DIR"
 ENV_PROFILE = "REPRO_TELEMETRY_PROFILE"
 ENV_TRACE_CACHE = "REPRO_TRACE_CACHE"
 ENV_TRACE_SCALE = "REPRO_TRACE_SCALE"
+ENV_REGISTRY = "REPRO_REGISTRY"
 
 #: Values accepted as "on" for boolean knobs.
 _TRUTHY = ("1", "true", "on")
@@ -83,6 +86,7 @@ class RunConfig:
     profile: bool = False
     trace_cache: Optional[str] = None
     trace_scale: Optional[float] = None
+    registry: Optional[str] = None
 
     # -- late resolution -----------------------------------------------------
 
@@ -168,6 +172,7 @@ def from_env(environ: Optional[Mapping[str, str]] = None) -> RunConfig:
         trace_scale=(
             _parse_float(ENV_TRACE_SCALE, scale_raw) if scale_raw else None
         ),
+        registry=env.get(ENV_REGISTRY, "") or None,
     )
 
 
@@ -193,6 +198,7 @@ def from_args(
         backend=getattr(args, "backend", None),
         telemetry=telemetry if telemetry else None,
         telemetry_dir=getattr(args, "telemetry_dir", None),
+        registry=getattr(args, "registry", None),
     )
 
 
@@ -223,6 +229,8 @@ def apply(
         env[ENV_TRACE_CACHE] = config.trace_cache
     if config.trace_scale is not None:
         env[ENV_TRACE_SCALE] = repr(config.trace_scale)
+    if config.registry is not None:
+        env[ENV_REGISTRY] = config.registry
     return config
 
 
@@ -273,3 +281,13 @@ def trace_cache_dir() -> Optional[str]:
 def trace_scale() -> float:
     """Trace-length scale factor (``REPRO_TRACE_SCALE``, default 1.0)."""
     return from_env().resolved_trace_scale()
+
+
+def registry_manifest() -> Optional[str]:
+    """Benchmark-set registry manifest path (``REPRO_REGISTRY``), or None.
+
+    ``None`` means "use the checked-in default if present" — resolution
+    of that default lives in :mod:`repro.workloads.registry`, which owns
+    the manifest format; this accessor only transports the knob.
+    """
+    return from_env().registry

@@ -50,7 +50,7 @@ from ..trace.trace import PredictorStream, Trace
 from ..workloads import suites as suite_registry
 from . import config as run_config
 from .metrics import AttributionCounters, PredictorMetrics
-from .runner import run_on_columns
+from ..serve.session import run_on_columns
 
 __all__ = [
     "FACTORIES",
@@ -310,6 +310,8 @@ def _build_manifest(
     cpu_s: float,
 ) -> Dict[str, Any]:
     """Assemble one run-manifest dict (``run_manifest.schema.json``)."""
+    from ..workloads import registry as external_registry
+
     loads = aux.get("loads")
     probe = aux.get("probe")
     metrics = result.metrics
@@ -327,6 +329,27 @@ def _build_manifest(
             "correct_rate": metrics.correct_rate,
             "coverage": metrics.coverage,
         }
+    # Registry (ingested) traces cache under their own digest-stamped
+    # naming and carry ingest provenance: format, source digest, record
+    # counts and drop reasons travel into the manifest so an external
+    # trace's figures trace back to the exact source bytes.
+    if external_registry.has_trace(job.trace):
+        cache_file = external_registry.cache_path(job.trace, job.instructions)
+        ingest = external_registry.ingest_meta(job.trace, job.instructions)
+    else:
+        cache_file = suite_registry.trace_cache_path(
+            job.trace, job.instructions
+        )
+        ingest = None
+    trace_record: Dict[str, Any] = {
+        "name": job.trace,
+        "suite": result.suite,
+        "events": aux.get("events"),
+        "loads": loads,
+        "cache": run_manifest.file_provenance(cache_file),
+    }
+    if ingest is not None:
+        trace_record["ingest"] = ingest
     return {
         "schema": run_manifest.MANIFEST_SCHEMA_ID,
         "config_hash": run_manifest.config_hash(job),
@@ -341,15 +364,7 @@ def _build_manifest(
             "gap": job.gap,
             "instrument": job.instrument,
         },
-        "trace": {
-            "name": job.trace,
-            "suite": result.suite,
-            "events": aux.get("events"),
-            "loads": loads,
-            "cache": run_manifest.file_provenance(
-                suite_registry.trace_cache_path(job.trace, job.instructions)
-            ),
-        },
+        "trace": trace_record,
         "run": {
             "started_at": run_manifest.iso_utc(started_wall),
             "wall_s": wall_s,

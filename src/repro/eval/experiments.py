@@ -47,7 +47,7 @@ from .charts import grouped_bar_chart
 from .engine import Job, run_jobs
 from .metrics import PredictorMetrics, SuiteMetrics, aggregate_by_suite
 from .report import format_percent, format_speedup, format_table
-from .runner import run_predictor
+from ..serve.session import run_predictor
 
 __all__ = [
     "fig5",
@@ -168,23 +168,36 @@ class SuiteComparison:
         """Combined counters over every trace for one variant."""
         return self.suites[variant]["Average"].combined
 
+    def suite_labels(self) -> List[str]:
+        """Row order: the paper's suites first, then any extras, then Average.
+
+        Registry (ingested) traces carry suite labels outside the paper's
+        eight (``EXT`` by default); they are appended in sorted order so
+        external benchmarks render instead of silently vanishing from the
+        tables.
+        """
+        present = self.suites[self.variants[0]]
+        labels = [
+            suite for suite in SUITE_ORDER
+            if suite != "Average" and suite in present
+        ]
+        labels.extend(sorted(
+            suite for suite in present
+            if suite not in SUITE_ORDER
+        ))
+        labels.append("Average")
+        return labels
+
     def render(self) -> str:
         headers = ["suite"]
         for variant in self.variants:
             headers += [f"{variant} rate", f"{variant} acc"]
-        rows = [
-            self.suite_row(suite)
-            for suite in SUITE_ORDER
-            if suite == "Average" or suite in self.suites[self.variants[0]]
-        ]
+        rows = [self.suite_row(suite) for suite in self.suite_labels()]
         return format_table(headers, rows, title=self.title)
 
     def render_chart(self, width: int = 40) -> str:
         """The same data as grouped bars, like the paper's figure."""
-        labels = [
-            suite for suite in SUITE_ORDER
-            if suite == "Average" or suite in self.suites[self.variants[0]]
-        ]
+        labels = self.suite_labels()
         series = {
             variant: [
                 self.suites[variant][suite].combined.prediction_rate

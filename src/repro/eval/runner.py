@@ -20,13 +20,30 @@ without changing the loops.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Union
+import warnings
+from typing import Callable, Iterable, Optional, Set, Union
 
 from ..predictors.base import AddressPredictor
 from ..trace.trace import PredictorStream, Trace
 from .metrics import PredictorMetrics
 
 __all__ = ["run_predictor", "run_on_stream", "run_on_columns"]
+
+#: Shim names that already warned this process — each deprecated entry
+#: point announces itself once, not once per evaluated trace.
+_WARNED: Set[str] = set()
+
+
+def _warn_deprecated(name: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"repro.eval.runner.{name} is deprecated; use"
+        f" repro.serve.session.{name} (or a PredictorSession)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_on_stream(
@@ -39,6 +56,7 @@ def run_on_stream(
     """Shim for :func:`repro.serve.session.run_on_stream` (see above)."""
     from ..serve.session import run_on_stream as impl
 
+    _warn_deprecated("run_on_stream")
     return impl(predictor, stream, metrics, warmup_loads, observer)
 
 
@@ -52,6 +70,7 @@ def run_on_columns(
     """Shim for :func:`repro.serve.session.run_on_columns` (see above)."""
     from ..serve.session import run_on_columns as impl
 
+    _warn_deprecated("run_on_columns")
     return impl(predictor, stream, metrics, warmup_loads, observer)
 
 
@@ -65,4 +84,5 @@ def run_predictor(
     """Shim for :func:`repro.serve.session.run_predictor` (see above)."""
     from ..serve.session import run_predictor as impl
 
+    _warn_deprecated("run_predictor")
     return impl(predictor, trace, name, warmup_loads, instrument)

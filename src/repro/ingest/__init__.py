@@ -1,0 +1,42 @@
+"""External trace ingestion: format adapters, sniffing, normalization.
+
+The repo's figures all run on synthetic workload traces; this package is
+the door for *real* traces.  Two adapters cover the common interchange
+shapes — DRAMSim2-style ``<addr> <command> <cycle>`` text and gem5/Pin
+style ``pc,addr,size,is_load`` CSV — each with a matching writer so
+round-trips are testable byte for byte.  :mod:`repro.ingest.normalize`
+turns parsed records into the repo's :class:`~repro.trace.trace.Trace`
+(synthesizing PCs for PC-less formats) and records full provenance; the
+benchmark-set registry (:mod:`repro.workloads.registry`) builds on this
+to make external traces first-class citizens of every driver.
+"""
+
+from .errors import FormatError, IngestError, RegistryError
+from .formats import (
+    FORMAT_NAMES,
+    FORMATS,
+    TraceFormat,
+    get_format,
+    read_path,
+    sniff_format,
+    write_path,
+)
+from .normalize import IngestStats, records_to_trace, synthesize_pc
+from .records import IngestRecord
+
+__all__ = [
+    "FORMAT_NAMES",
+    "FORMATS",
+    "FormatError",
+    "IngestError",
+    "IngestRecord",
+    "IngestStats",
+    "RegistryError",
+    "TraceFormat",
+    "get_format",
+    "read_path",
+    "records_to_trace",
+    "sniff_format",
+    "synthesize_pc",
+    "write_path",
+]

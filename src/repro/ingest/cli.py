@@ -1,0 +1,184 @@
+"""``python -m repro ingest`` — convert, describe and validate external traces.
+
+Subcommands (wired into the main parser by :mod:`repro.eval.cli`)::
+
+    repro ingest convert trace.trc out.npz        # external -> cached Trace
+    repro ingest convert trace.trc out.csv --to pincsv   # transcode
+    repro ingest describe trace.trc               # parse + provenance stats
+    repro ingest describe out.npz                 # header of a converted trace
+    repro ingest validate [registry.toml]         # check the benchmark registry
+    repro ingest formats                          # list format adapters
+
+Exit codes follow the repo convention: 0 clean, 1 validation findings,
+2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .errors import IngestError
+from .formats import FORMATS, get_format, sniff_format
+from .normalize import IngestStats, records_to_trace
+
+__all__ = ["add_ingest_arguments", "run_ingest_command"]
+
+
+def _read_source(path: Path, format_name: Optional[str]):
+    """Read + parse one external trace file; returns (format, records, data)."""
+    data = path.read_bytes()
+    name = format_name or sniff_format(data, source=path.name)
+    return name, get_format(name).read(data, path.name), data
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    src = Path(args.source)
+    try:
+        format_name, records, data = _read_source(src, args.format)
+    except (IngestError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    dst = Path(args.output)
+    if args.to:
+        # Transcode between external formats (the writers exist for
+        # round-trip testing; transcoding falls out for free).
+        try:
+            rendered = get_format(args.to).write(records)
+        except IngestError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(rendered)
+        print(f"wrote {len(records)} records to {dst} [{args.to}]")
+        return 0
+    trace = records_to_trace(
+        records,
+        args.name or src.stem,
+        format_name=format_name,
+        source=str(src),
+        source_bytes=data,
+        max_records=args.max_records,
+    )
+    trace.save(dst)
+    print(IngestStats(**trace.meta["ingest"]).describe())
+    print(f"wrote {dst}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    src = Path(args.source)
+    if src.suffix == ".npz":
+        # A converted trace: show the persisted header without touching
+        # the event columns.
+        from ..trace.trace import Trace
+
+        try:
+            header = Trace.load_header(src)
+        except (OSError, KeyError, ValueError) as error:
+            print(f"{src}: not a trace archive ({error})", file=sys.stderr)
+            return 2
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+    try:
+        format_name, records, data = _read_source(src, args.format)
+    except (IngestError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    trace = records_to_trace(
+        records, src.stem, format_name=format_name,
+        source=str(src), source_bytes=data,
+    )
+    print(IngestStats(**trace.meta["ingest"]).describe())
+    print(trace.summary())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from ..workloads import registry as R
+
+    path = args.manifest or R.default_manifest_path()
+    if path is None:
+        print("no registry manifest configured (pass a path, or set"
+              " REPRO_REGISTRY / --registry)", file=sys.stderr)
+        return 2
+    try:
+        registry = R.load_registry(path)
+    except (IngestError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    problems = R.validate(registry)
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(
+        f"{registry.path}: {len(registry.entries)} trace(s),"
+        f" {len(registry.sets)} set(s) validate"
+    )
+    return 0
+
+
+def _cmd_formats(_args: argparse.Namespace) -> int:
+    for fmt in FORMATS.values():
+        print(f"  {fmt.name:<10} {fmt.description}")
+    return 0
+
+
+def add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ingest sub-subcommands to the ``ingest`` parser."""
+    sub = parser.add_subparsers(dest="ingest_mode", required=True)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert an external trace to a cached .npz Trace"
+             " (or transcode with --to)",
+    )
+    convert.add_argument("source", metavar="SRC",
+                         help="external trace file")
+    convert.add_argument("output", metavar="DST",
+                         help=".npz trace archive (or external file with"
+                              " --to)")
+    convert.add_argument("--format", choices=sorted(FORMATS), default=None,
+                         help="pin the input format (default: sniff)")
+    convert.add_argument("--to", choices=sorted(FORMATS), default=None,
+                         metavar="FORMAT",
+                         help="transcode to another external format instead"
+                              " of building a trace")
+    convert.add_argument("--name", default=None,
+                         help="trace name recorded in the archive"
+                              " (default: source stem)")
+    convert.add_argument("--max-records", type=int, default=None, metavar="N",
+                         help="keep only the first N records")
+    convert.set_defaults(ingest_func=_cmd_convert)
+
+    describe = sub.add_parser(
+        "describe",
+        help="parse a trace file and print provenance statistics",
+    )
+    describe.add_argument("source", metavar="FILE",
+                          help="external trace file or converted .npz")
+    describe.add_argument("--format", choices=sorted(FORMATS), default=None,
+                          help="pin the input format (default: sniff)")
+    describe.set_defaults(ingest_func=_cmd_describe)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a benchmark-set registry manifest and its trace files",
+    )
+    validate.add_argument("manifest", nargs="?", default=None,
+                          metavar="MANIFEST",
+                          help="registry manifest (default: REPRO_REGISTRY,"
+                               " else benchmarks/traces/registry.json)")
+    validate.set_defaults(ingest_func=_cmd_validate)
+
+    formats = sub.add_parser("formats", help="list format adapters")
+    formats.set_defaults(ingest_func=_cmd_formats)
+
+
+def run_ingest_command(args: argparse.Namespace) -> int:
+    handler = args.ingest_func
+    return handler(args)

@@ -1,0 +1,155 @@
+"""DRAMSim2-style text trace adapter (the k6 ``<addr> <command> <cycle>``).
+
+Grammar, one record per line::
+
+    <hex address> <command> <cycle>
+
+* **address** — hexadecimal, optional ``0x`` prefix, at most 16 hex
+  digits (64 bits), any letter case.
+* **command** — ``READ`` / ``WRITE`` / ``P_FETCH``, or the DRAMSim2
+  spellings ``P_MEM_RD`` / ``P_MEM_WR``; case-insensitive.
+* **cycle** — non-negative decimal integer.
+
+Fields are separated by runs of spaces or tabs.  Blank lines and ``#``
+comments (full-line or trailing) are tolerated.  Everything else is a
+:class:`~repro.ingest.errors.FormatError` with a pinned message: lines
+must be LF-terminated (CRLF is rejected, not silently stripped), the
+file must not start with a UTF-8 BOM, no line may exceed
+:data:`MAX_LINE_CHARS` characters, and a file with no records at all is
+an error — conformance over permissiveness, because a silently
+half-parsed trace would poison every figure downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .errors import FormatError
+from .records import KIND_FETCH, KIND_LOAD, KIND_STORE, IngestRecord
+
+__all__ = [
+    "FORMAT_NAME",
+    "MAX_ADDRESS_DIGITS",
+    "MAX_LINE_CHARS",
+    "read",
+    "write",
+]
+
+FORMAT_NAME = "dramsim"
+
+#: Widest accepted address: 16 hex digits = 64 bits.
+MAX_ADDRESS_DIGITS = 16
+
+#: Longest accepted line, in characters, after stripping the newline.
+MAX_LINE_CHARS = 512
+
+#: command token (upper-cased) -> record kind.
+COMMANDS: Dict[str, str] = {
+    "READ": KIND_LOAD,
+    "P_MEM_RD": KIND_LOAD,
+    "WRITE": KIND_STORE,
+    "P_MEM_WR": KIND_STORE,
+    "P_FETCH": KIND_FETCH,
+}
+
+#: Canonical command per kind, used by :func:`write`.
+_KIND_TO_COMMAND = {
+    KIND_LOAD: "READ",
+    KIND_STORE: "WRITE",
+    KIND_FETCH: "P_FETCH",
+}
+
+_EXPECTED_COMMANDS = "READ, WRITE, P_FETCH, P_MEM_RD or P_MEM_WR"
+
+
+def _decode(data: bytes, source: str) -> str:
+    if data.startswith(b"\xef\xbb\xbf"):
+        raise FormatError("UTF-8 BOM not allowed", source, line=1)
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise FormatError(
+            f"not valid UTF-8 ({error.reason} at byte {error.start})", source
+        ) from None
+
+
+def parse_address(token: str, source: str, line: int) -> int:
+    """Parse one hex address token (shared with the CSV adapter's docs)."""
+    body = token[2:] if token[:2].lower() == "0x" else token
+    if not body:
+        raise FormatError(f"bad address {token!r}: empty", source, line)
+    if len(body) > MAX_ADDRESS_DIGITS:
+        raise FormatError(
+            f"bad address {token!r}: wider than 64 bits"
+            f" ({len(body)} hex digits, max {MAX_ADDRESS_DIGITS})",
+            source, line,
+        )
+    try:
+        return int(body, 16)
+    except ValueError:
+        raise FormatError(
+            f"bad address {token!r}: not hexadecimal", source, line
+        ) from None
+
+
+def read(data: bytes, source: str = "<dramsim>") -> List[IngestRecord]:
+    """Parse DRAMSim2-style text into records (strict; see module docs)."""
+    text = _decode(data, source)
+    records: List[IngestRecord] = []
+    for number, raw in enumerate(text.split("\n"), start=1):
+        if raw.endswith("\r"):
+            raise FormatError(
+                "CRLF line ending; trace files are LF-only", source, number
+            )
+        if len(raw) > MAX_LINE_CHARS:
+            raise FormatError(
+                f"line exceeds {MAX_LINE_CHARS} characters"
+                f" ({len(raw)})",
+                source, number,
+            )
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 3:
+            raise FormatError(
+                f"expected 3 fields '<addr> <command> <cycle>',"
+                f" got {len(fields)}",
+                source, number,
+            )
+        addr_token, command_token, cycle_token = fields
+        addr = parse_address(addr_token, source, number)
+        kind = COMMANDS.get(command_token.upper())
+        if kind is None:
+            raise FormatError(
+                f"unknown command {command_token!r}"
+                f" (expected {_EXPECTED_COMMANDS})",
+                source, number,
+            )
+        if not cycle_token.isdigit():
+            raise FormatError(
+                f"bad cycle {cycle_token!r}: not a non-negative integer",
+                source, number,
+            )
+        records.append(
+            IngestRecord(kind=kind, addr=addr, cycle=int(cycle_token))
+        )
+    if not records:
+        raise FormatError("no records found", source)
+    return records
+
+
+def write(records: List[IngestRecord]) -> bytes:
+    """Render records as DRAMSim2-style text (the round-trip writer).
+
+    PCs and sizes are not representable in this format and are dropped;
+    a missing cycle is synthesized as ``index * 10`` (matching the
+    cadence of published DRAMSim2 example traces).
+    """
+    lines = []
+    for index, record in enumerate(records):
+        cycle = record.cycle if record.cycle is not None else index * 10
+        lines.append(
+            f"0x{record.addr:x} {_KIND_TO_COMMAND[record.kind]} {cycle}"
+        )
+    return ("\n".join(lines) + "\n").encode("utf-8")

@@ -1,0 +1,47 @@
+"""Typed ingestion errors with pinned, conformance-tested messages.
+
+Every parse failure an external trace file can provoke maps to one
+:class:`FormatError` whose message text is part of the subsystem's
+contract: ``tests/test_ingest_formats.py`` replays the hostile fixture
+corpus and asserts the exact wording, so an adapter change that degrades
+an error into something vaguer (or swallows it) is a test failure, not a
+support ticket.  Registry/manifest problems raise :class:`RegistryError`
+instead so callers can tell "your trace file is malformed" apart from
+"your benchmark-set declaration is wrong".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["FormatError", "IngestError", "RegistryError"]
+
+
+class IngestError(ValueError):
+    """Base class for every error the ingestion subsystem raises."""
+
+
+class FormatError(IngestError):
+    """A trace file violates its format's grammar.
+
+    Carries the source name and 1-based line number (when known) and
+    renders them into a stable ``<name>, line <n>: <reason>`` prefix.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        source: str = "",
+        line: Optional[int] = None,
+    ) -> None:
+        self.reason = reason
+        self.source = source
+        self.line = line
+        prefix = source or "<trace>"
+        if line is not None:
+            prefix += f", line {line}"
+        super().__init__(f"{prefix}: {reason}")
+
+
+class RegistryError(IngestError):
+    """A benchmark-set manifest is malformed or fails validation."""

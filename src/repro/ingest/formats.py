@@ -1,0 +1,125 @@
+"""Format registry and content sniffing for external trace files.
+
+Each adapter registers a :class:`TraceFormat` — a ``read`` from bytes to
+normalized :class:`~repro.ingest.records.IngestRecord` lists and a
+``write`` back to bytes (so round-trips are testable).  Sniffing is
+content-based, never extension-based: the first data line (after
+comments and blanks) either contains commas (the CSV family) or splits
+into the three ``<addr> <command> <cycle>`` fields (the DRAMSim2
+family).  Content that matches neither fails loudly with a pinned
+message instead of guessing — a mis-sniffed format would "succeed" into
+a garbage trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from . import dramsim, pincsv
+from .errors import FormatError
+from .records import IngestRecord
+
+__all__ = [
+    "FORMAT_NAMES",
+    "FORMATS",
+    "TraceFormat",
+    "get_format",
+    "read_path",
+    "sniff_format",
+    "write_path",
+]
+
+
+class TraceFormat(NamedTuple):
+    """One registered external-trace format adapter."""
+
+    name: str
+    description: str
+    read: Callable[[bytes, str], List[IngestRecord]]
+    write: Callable[[List[IngestRecord]], bytes]
+
+
+#: name -> adapter, in sniffing priority order.
+FORMATS: Dict[str, TraceFormat] = {
+    dramsim.FORMAT_NAME: TraceFormat(
+        name=dramsim.FORMAT_NAME,
+        description="DRAMSim2-style text: <hex addr> <command> <cycle>",
+        read=dramsim.read,
+        write=dramsim.write,
+    ),
+    pincsv.FORMAT_NAME: TraceFormat(
+        name=pincsv.FORMAT_NAME,
+        description="gem5/Pin-style CSV: pc,addr,size,is_load",
+        read=pincsv.read,
+        write=pincsv.write,
+    ),
+}
+
+FORMAT_NAMES = tuple(FORMATS)
+
+
+def get_format(name: str) -> TraceFormat:
+    """Look up an adapter by name (typed error on unknown names)."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown trace format {name!r}"
+            f" (expected one of: {', '.join(FORMAT_NAMES)})"
+        ) from None
+
+
+def sniff_format(data: bytes, source: str = "<trace>") -> str:
+    """Decide which adapter should parse ``data`` (content-based).
+
+    Only the first data line is consulted; the adapter itself then
+    enforces the full grammar.  BOM and decode problems surface here with
+    the same messages the adapters pin, so ``sniff + read`` never reports
+    a different error than ``read`` alone would.
+    """
+    if data.startswith(b"\xef\xbb\xbf"):
+        raise FormatError("UTF-8 BOM not allowed", source, line=1)
+    try:
+        text = data.decode("utf-8", errors="replace")
+    except Exception:  # pragma: no cover - replace never raises
+        text = ""
+    for raw in text.split("\n"):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "," in line:
+            return pincsv.FORMAT_NAME
+        if len(line.split()) == 3:
+            return dramsim.FORMAT_NAME
+        raise FormatError(
+            f"cannot determine trace format from {line[:40]!r}: expected"
+            f" '<addr> <command> <cycle>' text or a"
+            f" 'pc,addr,size,is_load' CSV",
+            source,
+        )
+    raise FormatError("no records found", source)
+
+
+def read_path(
+    path: "Path | str", format_name: Optional[str] = None
+) -> tuple:
+    """Read one trace file; returns ``(format_name, records)``.
+
+    ``format_name`` pins the adapter; ``None`` sniffs the content.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    name = format_name or sniff_format(data, source=path.name)
+    adapter = get_format(name)
+    return name, adapter.read(data, path.name)
+
+
+def write_path(
+    path: "Path | str", format_name: str, records: List[IngestRecord]
+) -> Path:
+    """Write records to ``path`` in the named format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(get_format(format_name).write(records))
+    return path

@@ -1,0 +1,195 @@
+"""Normalize external records into the repo's ``Trace`` abstraction.
+
+External formats know nothing about the mini-ISA, so normalization is a
+policy layer, deterministic end to end:
+
+* **PC synthesis.**  DRAMSim2 records carry no program counter (and a
+  CSV row may carry PC 0, the null page — equally meaningless), yet
+  every predictor in the repo indexes its tables by the static load's
+  IP.  Records without a usable PC get a synthetic one derived from the
+  *address region*: each :data:`SYNTH_REGION_BYTES`-sized region maps to
+  one of :data:`SYNTH_SLOTS` synthetic static loads at
+  ``SYNTH_PC_BASE``.  A sequential DRAM stream thus looks like one
+  static load striding through memory — exactly what a hardware
+  prefetcher in the memory controller would observe — while scattered
+  pointer chases spread over many synthetic PCs.
+* **Load filtering.**  Loads become ``KIND_LOAD`` trace events (the
+  predictor-visible stream), stores become ``KIND_STORE`` events (kept
+  in the trace, invisible to address predictors, same as the synthetic
+  workloads), and instruction fetches are dropped.  Every record that
+  does not surface as a predictor-visible load is tallied in
+  :attr:`IngestStats.dropped` by reason, so provenance can state *why*
+  the record count shrank.
+
+The resulting :class:`~repro.trace.trace.Trace` feeds the columnar
+``PredictorStream`` (v3 ``ps_*`` arrays) through the normal
+``predictor_columns()`` path — nothing downstream knows the trace was
+not synthesized in-process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..trace.event import KIND_LOAD, KIND_STORE
+from ..trace.trace import Trace
+from .records import IngestRecord
+
+__all__ = [
+    "SYNTH_PC_BASE",
+    "SYNTH_REGION_BYTES",
+    "SYNTH_SLOTS",
+    "IngestStats",
+    "records_to_trace",
+    "sha256_bytes",
+    "ADDRESS_MASK",
+    "canonical_address",
+    "synthesize_pc",
+]
+
+#: Base address of the synthetic static-load "code segment".  High and
+#: round so synthesized PCs never collide with the mini-ISA's real code
+#: addresses or with CSV-supplied PCs from ordinary text segments.
+SYNTH_PC_BASE = 0x7F000000
+
+#: Region granularity for PC synthesis: one synthetic static load per
+#: 4 KiB page of the address space (modulo the slot count).
+SYNTH_REGION_BYTES = 4096
+
+#: Number of distinct synthetic PCs (power of two).  Bounds the static
+#: footprint a PC-less trace can occupy in the predictors' tables.
+SYNTH_SLOTS = 1024
+
+#: Drop-reason keys (stable vocabulary; provenance dicts use these).
+DROP_FETCH = "fetch"
+DROP_TRUNCATED = "truncated"
+
+
+def synthesize_pc(addr: int) -> int:
+    """Deterministic synthetic PC for a PC-less record (see module docs)."""
+    region = addr // SYNTH_REGION_BYTES
+    return SYNTH_PC_BASE + (region % SYNTH_SLOTS) * 4
+
+
+#: The predictor-visible address space: non-negative int64.  The format
+#: adapters accept the full unsigned 64-bit range, but the trace's
+#: ``ps_*`` columns are int64 and the kernel backend's hashing assumes
+#: non-negative values (an arithmetic shift on a negative int64 never
+#: terminates its fold loop), so normalization masks the top bit away.
+ADDRESS_MASK = (1 << 63) - 1
+
+
+def canonical_address(value: int) -> int:
+    """Canonicalize an unsigned 64-bit value into the int64-safe range.
+
+    A value at or above 2**63 would overflow the kernel backend's int64
+    arrays while the pure-Python loops happily carried the big int — a
+    silent backend-parity hazard.  Masking to 63 bits here, once, keeps
+    both backends bit-identical.  Real traces are unaffected: no
+    physical DRAM address or canonical x86-64 virtual address occupies
+    bit 63.
+    """
+    return value & ADDRESS_MASK
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 digest of a source file's raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class IngestStats:
+    """Provenance of one ingestion: what came in, what survived, why not.
+
+    Serialized (via :meth:`as_dict`) into the converted trace's metadata
+    and from there into run manifests, so a figure computed on an
+    ingested trace can always be traced back to the exact source bytes.
+    """
+
+    format: str = ""
+    source: str = ""
+    sha256: str = ""
+    bytes: int = 0
+    records: int = 0
+    events_kept: int = 0
+    loads_kept: int = 0
+    dropped: Dict[str, int] = field(default_factory=dict)
+    synthesized_pcs: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": self.format,
+            "source": self.source,
+            "sha256": self.sha256,
+            "bytes": self.bytes,
+            "records": self.records,
+            "events_kept": self.events_kept,
+            "loads_kept": self.loads_kept,
+            "dropped": dict(sorted(self.dropped.items())),
+            "synthesized_pcs": self.synthesized_pcs,
+        }
+
+    def describe(self) -> str:
+        dropped = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.dropped.items())
+        ) or "none"
+        return (
+            f"{self.source or '<memory>'} [{self.format}]:"
+            f" {self.records} records -> {self.events_kept} events"
+            f" ({self.loads_kept} loads), dropped: {dropped},"
+            f" synthesized PCs: {self.synthesized_pcs}"
+        )
+
+
+def records_to_trace(
+    records: List[IngestRecord],
+    name: str,
+    *,
+    format_name: str = "",
+    source: str = "",
+    source_bytes: Optional[bytes] = None,
+    suite: str = "EXT",
+    max_records: Optional[int] = None,
+) -> Trace:
+    """Build a :class:`Trace` from normalized records.
+
+    ``max_records`` keeps a deterministic prefix (the external analogue
+    of the synthetic suites' instruction budget); truncation is recorded
+    as a drop reason.  The returned trace carries the full
+    :class:`IngestStats` in ``trace.meta["ingest"]``.
+    """
+    stats = IngestStats(
+        format=format_name,
+        source=source,
+        sha256=sha256_bytes(source_bytes) if source_bytes is not None else "",
+        bytes=len(source_bytes) if source_bytes is not None else 0,
+        records=len(records),
+    )
+    kept = records
+    if max_records is not None and len(records) > max_records:
+        kept = records[:max_records]
+        stats.dropped[DROP_TRUNCATED] = len(records) - max_records
+    trace = Trace(name=name)
+    for record in kept:
+        if record.kind == "fetch":
+            stats.dropped[DROP_FETCH] = stats.dropped.get(DROP_FETCH, 0) + 1
+            continue
+        pc = record.pc
+        if not pc:  # None or the meaningless null page
+            pc = synthesize_pc(record.addr)
+            stats.synthesized_pcs += 1
+        kind = KIND_LOAD if record.kind == "load" else KIND_STORE
+        trace.append(kind=kind, ip=canonical_address(pc),
+                     addr=canonical_address(record.addr), offset=0)
+        stats.events_kept += 1
+        if kind == KIND_LOAD:
+            stats.loads_kept += 1
+    trace.meta = {
+        "suite": suite,
+        "workload": "external",
+        "ingest": stats.as_dict(),
+    }
+    return trace

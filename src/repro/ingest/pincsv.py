@@ -1,0 +1,144 @@
+"""gem5/Pin-style CSV trace adapter (``pc,addr,size,is_load``).
+
+The shape a Pin memory-trace pintool or a gem5 ``MemTrace`` post-process
+typically emits: one header line naming the columns, then one memory
+reference per row::
+
+    pc,addr,size,is_load
+    0x401a20,0x7ffe0010,8,1
+    0x401a26,0x7ffe0018,8,0
+
+* **pc**, **addr** — hexadecimal with a ``0x``/``0X`` prefix (any letter
+  case in the digits) or plain decimal; at most 64 bits.
+* **size** — positive decimal byte count.
+* **is_load** — ``1`` (load) or ``0`` (store).
+
+Blank lines and full-line ``#`` comments are tolerated anywhere;
+surrounding spaces in cells are stripped.  The same strictness rules as
+the DRAMSim2 adapter apply — LF-only line endings, no UTF-8 BOM, a line
+length cap, and at least one data row — each failing with a pinned
+:class:`~repro.ingest.errors.FormatError` message.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import FormatError
+from .records import KIND_LOAD, KIND_STORE, MAX_ADDRESS, IngestRecord
+
+__all__ = ["FORMAT_NAME", "HEADER", "MAX_LINE_CHARS", "read", "write"]
+
+FORMAT_NAME = "pincsv"
+
+#: The required header row (spaces around commas tolerated on input).
+HEADER = ("pc", "addr", "size", "is_load")
+
+#: Longest accepted line, in characters, after stripping the newline.
+MAX_LINE_CHARS = 512
+
+
+def _parse_int(token: str, column: str, source: str, line: int) -> int:
+    text = token.strip()
+    try:
+        if text[:2].lower() == "0x":
+            value = int(text[2:], 16)
+        else:
+            value = int(text, 10)
+    except (ValueError, IndexError):
+        raise FormatError(
+            f"bad {column} {token.strip()!r}: not a hex (0x...) or"
+            f" decimal integer",
+            source, line,
+        ) from None
+    if value < 0 or value > MAX_ADDRESS:
+        raise FormatError(
+            f"bad {column} {token.strip()!r}: outside 64-bit range",
+            source, line,
+        )
+    return value
+
+
+def read(data: bytes, source: str = "<pincsv>") -> List[IngestRecord]:
+    """Parse a ``pc,addr,size,is_load`` CSV into records."""
+    if data.startswith(b"\xef\xbb\xbf"):
+        raise FormatError("UTF-8 BOM not allowed", source, line=1)
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise FormatError(
+            f"not valid UTF-8 ({error.reason} at byte {error.start})", source
+        ) from None
+    records: List[IngestRecord] = []
+    header_seen = False
+    for number, raw in enumerate(text.split("\n"), start=1):
+        if raw.endswith("\r"):
+            raise FormatError(
+                "CRLF line ending; trace files are LF-only", source, number
+            )
+        if len(raw) > MAX_LINE_CHARS:
+            raise FormatError(
+                f"line exceeds {MAX_LINE_CHARS} characters ({len(raw)})",
+                source, number,
+            )
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        cells = [cell.strip() for cell in line.split(",")]
+        if not header_seen:
+            if tuple(cell.lower() for cell in cells) != HEADER:
+                raise FormatError(
+                    f"bad header {line!r}: expected"
+                    f" {','.join(HEADER)!r}",
+                    source, number,
+                )
+            header_seen = True
+            continue
+        if len(cells) != len(HEADER):
+            raise FormatError(
+                f"expected {len(HEADER)} columns"
+                f" ({','.join(HEADER)}), got {len(cells)}",
+                source, number,
+            )
+        pc = _parse_int(cells[0], "pc", source, number)
+        addr = _parse_int(cells[1], "addr", source, number)
+        size = _parse_int(cells[2], "size", source, number)
+        if size < 1:
+            raise FormatError(
+                f"bad size {cells[2]!r}: must be >= 1", source, number
+            )
+        if cells[3] not in ("0", "1"):
+            raise FormatError(
+                f"bad is_load {cells[3]!r}: expected 0 or 1", source, number
+            )
+        records.append(
+            IngestRecord(
+                kind=KIND_LOAD if cells[3] == "1" else KIND_STORE,
+                addr=addr, pc=pc, size=size,
+            )
+        )
+    if not header_seen:
+        raise FormatError("no records found", source)
+    if not records:
+        raise FormatError("no records found (header only)", source)
+    return records
+
+
+def write(records: List[IngestRecord]) -> bytes:
+    """Render records as ``pc,addr,size,is_load`` CSV.
+
+    Fetch records have no representation in this format and are
+    rejected; a missing PC is written as 0 (the normalizer synthesizes a
+    real one on the way back in — see :mod:`repro.ingest.normalize`).
+    """
+    lines = [",".join(HEADER)]
+    for index, record in enumerate(records):
+        if record.kind not in (KIND_LOAD, KIND_STORE):
+            raise FormatError(
+                f"record {index}: kind {record.kind!r} has no CSV"
+                f" representation (loads and stores only)"
+            )
+        pc = record.pc if record.pc is not None else 0
+        is_load = 1 if record.kind == KIND_LOAD else 0
+        lines.append(f"0x{pc:x},0x{record.addr:x},{record.size},{is_load}")
+    return ("\n".join(lines) + "\n").encode("utf-8")

@@ -1,0 +1,59 @@
+"""The normalized external-trace record: what every adapter parses into.
+
+Both ingestion formats — however different their syntax — reduce to a
+flat sequence of memory-reference records.  :class:`IngestRecord` is that
+common currency: the format adapters produce lists of them, the writers
+consume lists of them, and :mod:`repro.ingest.normalize` turns a list
+into the repo's :class:`~repro.trace.trace.Trace` abstraction.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+__all__ = [
+    "KIND_FETCH",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "IngestRecord",
+    "MAX_ADDRESS",
+]
+
+#: Record kinds.  Strings, not the trace-event integer codes: these name
+#: what the *source format* said, before normalization policy applies.
+KIND_LOAD = "load"
+KIND_STORE = "store"
+KIND_FETCH = "fetch"
+
+#: Addresses are 64-bit: the widest value any adapter accepts or writes.
+MAX_ADDRESS = (1 << 64) - 1
+
+
+class IngestRecord(NamedTuple):
+    """One external memory reference, format-independent.
+
+    Attributes
+    ----------
+    kind:
+        ``"load"``, ``"store"`` or ``"fetch"`` (instruction fetch;
+        DRAMSim2's ``P_FETCH`` command — dropped during normalization).
+    addr:
+        Effective address, ``0 <= addr <= MAX_ADDRESS``.
+    pc:
+        Program counter of the referencing instruction, or ``None`` for
+        PC-less formats (DRAMSim2); normalization synthesizes one.
+    size:
+        Access size in bytes (CSV column; DRAMSim2 records default to 4).
+    cycle:
+        Source timestamp when the format carries one, else ``None``.
+    """
+
+    kind: str
+    addr: int
+    pc: Optional[int] = None
+    size: int = 4
+    cycle: Optional[int] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == KIND_LOAD

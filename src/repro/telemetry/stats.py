@@ -608,8 +608,13 @@ def render_slo_report(path: Union[str, Path]) -> str:
          "p99ms", "errors"],
         rows,
         title=(
-            f"serving saturation curve — {workload['profile']}/"
-            f"{workload['mode']} @ {server['host']}:{server['port']}"
+            "serving saturation curve — "
+            + (
+                f"trace:{workload['trace']}"
+                if workload.get("trace")
+                else workload["profile"]
+            )
+            + f"/{workload['mode']} @ {server['host']}:{server['port']}"
         ),
     )
     backends = ", ".join(

@@ -430,6 +430,18 @@ class Trace:
         return trace
 
     @classmethod
+    def load_header(cls, path: "Path | str") -> dict:
+        """Load just the name/meta header from a cache file.
+
+        Provenance consumers (run manifests, ``repro ingest describe``)
+        need the metadata of a cached trace without deserialising any of
+        the event columns; ``.npz`` members load lazily, so this touches
+        only the tiny ``header`` array.
+        """
+        with np.load(Path(path)) as data:
+            return json.loads(bytes(data["header"].tobytes()).decode())
+
+    @classmethod
     def load_stream(cls, path: "Path | str") -> Optional[PredictorStream]:
         """Load just the predictor stream from a cache file.
 

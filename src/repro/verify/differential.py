@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..eval.metrics import PredictorMetrics
-from ..eval.runner import run_on_columns, run_on_stream
+from ..serve.session import run_on_columns, run_on_stream
 from ..predictors.base import AddressPredictor
 from ..predictors.cap import CAPConfig, CAPPredictor
 from ..predictors.hybrid import HybridConfig, HybridPredictor

@@ -1,0 +1,483 @@
+"""Declarative benchmark-set registry for ingested external traces.
+
+A registry is a checked-in manifest (TOML on Python 3.11+, or JSON
+anywhere) describing external trace files plus named benchmark *sets*::
+
+    [[traces]]
+    name = "ext_dram_stream"
+    file = "ext_dram_stream.trc"     # relative to the manifest
+    format = "dramsim"               # optional; sniffed when omitted
+    sha256 = "9f0c..."               # required: pins the exact bytes
+    records = 600                    # required: expected parse count
+    suite = "EXT"                    # optional; default EXT
+
+    [sets]
+    ext_quick = ["ext_dram_stream", "ext_pin_mix"]
+
+Registered names become first-class trace names: :func:`suites.get_trace`
+and :func:`suites.get_predictor_stream` fall back here for names no
+synthetic workload claims, so the engine, every figure driver, ``verify``
+and the serving layer accept them without signature changes.  Set names
+expand to their members on the CLI (``repro run fig5 --traces ext_quick``).
+
+Integrity is load-bearing, not advisory: the manifest's sha256 and record
+count are verified against the actual file before a trace is built, and
+the trace-cache filename embeds the digest — so a silently edited source
+file can never satisfy a stale cache entry.
+
+The manifest location resolves through :func:`repro.eval.config
+.registry_manifest` (the ``REPRO_REGISTRY`` knob / ``--registry`` flag),
+defaulting to the checked-in ``benchmarks/traces/registry.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..ingest.errors import FormatError, RegistryError
+from ..ingest.formats import FORMAT_NAMES, get_format, sniff_format
+from ..ingest.normalize import records_to_trace, sha256_bytes
+from ..ingest.records import IngestRecord
+from ..trace.trace import PredictorStream, Trace
+from .suites import _CACHE_VERSION, _cache_dir, _generation_lock
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "Registry",
+    "RegistryEntry",
+    "cache_path",
+    "clear_cache",
+    "default_manifest_path",
+    "expand_trace_names",
+    "get_predictor_stream",
+    "get_registry",
+    "get_trace",
+    "has_trace",
+    "ingest_meta",
+    "load_registry",
+    "suite_of",
+    "trace_names",
+    "validate",
+]
+
+#: Checked-in default manifest, relative to the working directory.  JSON
+#: rather than TOML so the default path works on every supported Python.
+DEFAULT_MANIFEST = Path("benchmarks") / "traces" / "registry.json"
+
+_ENTRY_REQUIRED = ("name", "file", "sha256", "records")
+_ENTRY_OPTIONAL = ("format", "suite", "description")
+
+#: Default suite label for registry traces; rendered after the paper's
+#: eight suites in figure tables.
+DEFAULT_SUITE = "EXT"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered external trace (fully resolved)."""
+
+    name: str
+    path: Path          # absolute-ish: manifest dir + file
+    sha256: str
+    records: int
+    format: Optional[str] = None   # None = sniff
+    suite: str = DEFAULT_SUITE
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Registry:
+    """A parsed registry manifest."""
+
+    path: Path
+    entries: Dict[str, RegistryEntry]
+    sets: Dict[str, Tuple[str, ...]]
+
+
+# ---------------------------------------------------------------------------
+# Manifest parsing
+# ---------------------------------------------------------------------------
+
+def _parse_toml(path: Path) -> dict:
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python < 3.11
+        raise RegistryError(
+            f"{path}: TOML manifests need Python 3.11+ (tomllib);"
+            f" use a .json manifest instead"
+        ) from None
+    try:
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    except tomllib.TOMLDecodeError as error:
+        raise RegistryError(f"{path}: invalid TOML: {error}") from None
+
+
+def _parse_json(path: Path) -> dict:
+    try:
+        with open(path, "rb") as handle:
+            return json.load(handle)
+    except json.JSONDecodeError as error:
+        raise RegistryError(f"{path}: invalid JSON: {error}") from None
+
+
+def _require_type(path: Path, what: str, value: object, kind: type) -> None:
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise RegistryError(
+            f"{path}: {what} must be {kind.__name__},"
+            f" got {type(value).__name__}"
+        )
+
+
+def _parse_entry(path: Path, index: int, raw: object) -> RegistryEntry:
+    where = f"traces[{index}]"
+    if not isinstance(raw, dict):
+        raise RegistryError(f"{path}: {where} must be a table/object")
+    unknown = sorted(set(raw) - set(_ENTRY_REQUIRED) - set(_ENTRY_OPTIONAL))
+    if unknown:
+        raise RegistryError(
+            f"{path}: {where} has unknown key(s): {', '.join(unknown)}"
+        )
+    missing = [key for key in _ENTRY_REQUIRED if key not in raw]
+    if missing:
+        raise RegistryError(
+            f"{path}: {where} missing required key(s): {', '.join(missing)}"
+        )
+    for key in ("name", "file", "sha256"):
+        _require_type(path, f"{where}.{key}", raw[key], str)
+    _require_type(path, f"{where}.records", raw["records"], int)
+    if raw["records"] < 1:
+        raise RegistryError(f"{path}: {where}.records must be >= 1")
+    if len(raw["sha256"]) != 64 or any(
+        c not in "0123456789abcdef" for c in raw["sha256"]
+    ):
+        raise RegistryError(
+            f"{path}: {where}.sha256 must be 64 lowercase hex digits"
+        )
+    format_name = raw.get("format")
+    if format_name is not None:
+        _require_type(path, f"{where}.format", format_name, str)
+        if format_name not in FORMAT_NAMES:
+            raise RegistryError(
+                f"{path}: {where}.format {format_name!r} unknown"
+                f" (expected one of: {', '.join(FORMAT_NAMES)})"
+            )
+    suite = raw.get("suite", DEFAULT_SUITE)
+    _require_type(path, f"{where}.suite", suite, str)
+    description = raw.get("description", "")
+    _require_type(path, f"{where}.description", description, str)
+    return RegistryEntry(
+        name=raw["name"],
+        path=path.parent / raw["file"],
+        sha256=raw["sha256"],
+        records=raw["records"],
+        format=format_name,
+        suite=suite,
+        description=description,
+    )
+
+
+def load_registry(path: "Path | str") -> Registry:
+    """Parse + schema-check one manifest (no trace-file IO).
+
+    Every malformation raises :class:`RegistryError` with the manifest
+    path in the message; deep checks against the trace files themselves
+    (digest, record counts) live in :func:`validate`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise RegistryError(f"{path}: registry manifest not found")
+    if path.suffix == ".toml":
+        document = _parse_toml(path)
+    elif path.suffix == ".json":
+        document = _parse_json(path)
+    else:
+        raise RegistryError(
+            f"{path}: unsupported manifest suffix {path.suffix!r}"
+            f" (expected .toml or .json)"
+        )
+    if not isinstance(document, dict):
+        raise RegistryError(f"{path}: manifest root must be a table/object")
+    unknown = sorted(set(document) - {"traces", "sets"})
+    if unknown:
+        raise RegistryError(
+            f"{path}: unknown top-level key(s): {', '.join(unknown)}"
+        )
+    raw_traces = document.get("traces", [])
+    if not isinstance(raw_traces, list) or not raw_traces:
+        raise RegistryError(
+            f"{path}: 'traces' must be a non-empty array of tables"
+        )
+    entries: Dict[str, RegistryEntry] = {}
+    for index, raw in enumerate(raw_traces):
+        entry = _parse_entry(path, index, raw)
+        if entry.name in entries:
+            raise RegistryError(
+                f"{path}: duplicate trace name {entry.name!r}"
+            )
+        if _is_builtin_name(entry.name):
+            raise RegistryError(
+                f"{path}: trace name {entry.name!r} shadows a built-in"
+                f" synthetic trace"
+            )
+        entries[entry.name] = entry
+    raw_sets = document.get("sets", {})
+    if not isinstance(raw_sets, dict):
+        raise RegistryError(f"{path}: 'sets' must be a table/object")
+    sets: Dict[str, Tuple[str, ...]] = {}
+    for set_name, members in raw_sets.items():
+        if set_name in entries:
+            raise RegistryError(
+                f"{path}: set name {set_name!r} collides with a trace name"
+            )
+        if not isinstance(members, list) or not members:
+            raise RegistryError(
+                f"{path}: set {set_name!r} must be a non-empty array of"
+                f" trace names"
+            )
+        for member in members:
+            if not isinstance(member, str) or member not in entries:
+                raise RegistryError(
+                    f"{path}: set {set_name!r} references unknown trace"
+                    f" {member!r}"
+                )
+        sets[set_name] = tuple(members)
+    return Registry(path=path, entries=entries, sets=sets)
+
+
+def _is_builtin_name(name: str) -> bool:
+    from . import suites
+
+    return name in suites._BUILDERS or name in suites.EXTRA_WORKLOADS
+
+
+# ---------------------------------------------------------------------------
+# Resolution + memoization
+# ---------------------------------------------------------------------------
+
+#: Per-process memo: resolved manifest path -> Registry.
+_LOADED: Dict[str, Registry] = {}
+
+
+def default_manifest_path() -> Optional[Path]:
+    """The manifest the current configuration points at, or ``None``.
+
+    ``REPRO_REGISTRY`` (exported by ``--registry``) wins; otherwise the
+    checked-in default is used when it exists.
+    """
+    from ..eval.config import registry_manifest
+
+    configured = registry_manifest()
+    if configured:
+        return Path(configured)
+    if DEFAULT_MANIFEST.exists():
+        return DEFAULT_MANIFEST
+    return None
+
+
+def get_registry(path: "Path | str | None" = None) -> Optional[Registry]:
+    """The active registry (memoized per manifest path), or ``None``."""
+    manifest = Path(path) if path is not None else default_manifest_path()
+    if manifest is None:
+        return None
+    key = str(manifest.resolve())
+    if key not in _LOADED:
+        _LOADED[key] = load_registry(manifest)
+    return _LOADED[key]
+
+
+def clear_cache() -> None:
+    """Drop the per-process registry memo (test isolation hook)."""
+    _LOADED.clear()
+
+
+def has_trace(name: str) -> bool:
+    registry = get_registry()
+    return registry is not None and name in registry.entries
+
+
+def trace_names() -> List[str]:
+    """All registered trace names, manifest order (empty if no registry)."""
+    registry = get_registry()
+    return list(registry.entries) if registry is not None else []
+
+
+def suite_of(name: str) -> Optional[str]:
+    registry = get_registry()
+    if registry is not None and name in registry.entries:
+        return registry.entries[name].suite
+    return None
+
+
+def expand_trace_names(names: List[str]) -> List[str]:
+    """Replace registry set names with their members, in place-order.
+
+    Non-set names (built-in traces, registry traces, typos left for the
+    drivers to report) pass through untouched.
+    """
+    registry = get_registry()
+    if registry is None:
+        return list(names)
+    expanded: List[str] = []
+    for name in names:
+        if name in registry.sets:
+            expanded.extend(registry.sets[name])
+        else:
+            expanded.append(name)
+    return expanded
+
+
+# ---------------------------------------------------------------------------
+# Trace materialisation (verified source -> normalized -> cached)
+# ---------------------------------------------------------------------------
+
+def _entry(name: str) -> RegistryEntry:
+    registry = get_registry()
+    if registry is None or name not in registry.entries:
+        # KeyError, not RegistryError: callers reached through
+        # suites.get_trace expect the same exception contract as for any
+        # unknown trace name.
+        raise KeyError(f"unknown trace {name!r}")
+    return registry.entries[name]
+
+
+def _load_entry_records(
+    entry: RegistryEntry,
+) -> Tuple[str, List[IngestRecord], bytes]:
+    """Read, integrity-check and parse one entry's source file."""
+    try:
+        data = entry.path.read_bytes()
+    except OSError as error:
+        raise RegistryError(
+            f"{entry.name}: trace file {entry.path} unreadable ({error})"
+        ) from None
+    digest = sha256_bytes(data)
+    if digest != entry.sha256:
+        raise RegistryError(
+            f"{entry.name}: sha256 mismatch for {entry.path}"
+            f" (manifest {entry.sha256[:12]}..., file {digest[:12]}...)"
+        )
+    format_name = entry.format or sniff_format(data, source=entry.path.name)
+    records = get_format(format_name).read(data, entry.path.name)
+    if len(records) != entry.records:
+        raise RegistryError(
+            f"{entry.name}: record count mismatch for {entry.path}"
+            f" (manifest {entry.records}, file {len(records)})"
+        )
+    return format_name, records, data
+
+
+def cache_path(name: str, instructions: Optional[int] = None) -> Path:
+    """Trace-cache file a registry (trace, budget) pair resolves to.
+
+    The filename embeds the manifest's digest prefix, so editing the
+    source file (and updating the manifest) can never be satisfied by a
+    stale cache entry.
+    """
+    entry = _entry(name)
+    return _cache_dir() / (
+        f"{entry.name}_{instructions or 0}_{entry.sha256[:12]}"
+        f"_v{_CACHE_VERSION}.npz"
+    )
+
+
+def _build_trace(
+    entry: RegistryEntry, instructions: Optional[int]
+) -> Trace:
+    format_name, records, data = _load_entry_records(entry)
+    return records_to_trace(
+        records,
+        entry.name,
+        format_name=format_name,
+        source=str(entry.path),
+        source_bytes=data,
+        suite=entry.suite,
+        max_records=instructions,
+    )
+
+
+def get_trace(
+    name: str,
+    instructions: Optional[int] = None,
+    use_cache: bool = True,
+) -> Trace:
+    """Materialise a registry trace (same contract as ``suites.get_trace``).
+
+    ``instructions`` caps the number of source records kept — the
+    external analogue of the synthetic suites' instruction budget; the
+    cap is a deterministic prefix.  Uses the same lock + atomic-rename
+    cache discipline as the synthetic generator.
+    """
+    entry = _entry(name)
+    if not use_cache:
+        return _build_trace(entry, instructions)
+    path = cache_path(name, instructions)
+    if path.exists():
+        return Trace.load(path)
+    with _generation_lock(path):
+        if path.exists():  # another worker built it while we waited
+            return Trace.load(path)
+        trace = _build_trace(entry, instructions)
+        trace.save(path)
+    return trace
+
+
+def get_predictor_stream(
+    name: str, instructions: Optional[int] = None
+) -> PredictorStream:
+    """Columnar predictor stream for a registry trace (cache-cheap)."""
+    path = cache_path(name, instructions)
+    if path.exists():
+        stream = Trace.load_stream(path)
+        if stream is not None:
+            return stream
+    return get_trace(name, instructions).predictor_columns()
+
+
+def ingest_meta(
+    name: str, instructions: Optional[int] = None
+) -> Optional[dict]:
+    """Ingest provenance for a registry trace, for run manifests.
+
+    Reads only the cached archive's header when warm; builds the trace
+    (populating the cache) when cold.  Returns ``None`` for names the
+    registry does not know — callers probe with built-in names too.
+    """
+    if not has_trace(name):
+        return None
+    path = cache_path(name, instructions)
+    if path.exists():
+        header = Trace.load_header(path)
+        meta = header.get("meta", {})
+        ingest = meta.get("ingest")
+        if ingest is not None:
+            return dict(ingest)
+    return dict(get_trace(name, instructions).meta["ingest"])
+
+
+# ---------------------------------------------------------------------------
+# Deep validation (the `repro ingest validate` engine)
+# ---------------------------------------------------------------------------
+
+def validate(registry: Registry) -> List[str]:
+    """Check every entry against its actual file; returns problems.
+
+    Covers existence, digest, parseability under the pinned (or sniffed)
+    format, and the expected record count — everything that must hold
+    for :func:`get_trace` to succeed on a cold cache.
+    """
+    problems: List[str] = []
+    for entry in registry.entries.values():
+        if not entry.path.exists():
+            problems.append(
+                f"{entry.name}: trace file {entry.path} does not exist"
+            )
+            continue
+        try:
+            _load_entry_records(entry)
+        except (RegistryError, FormatError) as error:
+            problems.append(str(error))
+    return problems

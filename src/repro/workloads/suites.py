@@ -248,12 +248,17 @@ def trace_names(suite: Optional[str] = None) -> List[str]:
 
 
 def suite_of(trace_name: str) -> str:
-    """Suite label for a trace name."""
+    """Suite label for a trace name (registry traces included)."""
     for suite in SUITE_NAMES:
         if any(name == trace_name for name, _ in SUITES[suite]):
             return suite
     if trace_name in EXTRA_WORKLOADS:
         return "MISC"
+    from . import registry
+
+    label = registry.suite_of(trace_name)
+    if label is not None:
+        return label
     raise KeyError(f"unknown trace {trace_name!r}")
 
 
@@ -334,7 +339,19 @@ def get_trace(
     cold cache): first generation runs under an exclusive per-file lock and
     the cache write is an atomic rename, so every caller observes either a
     missing file or a complete one.
+
+    Names no synthetic workload claims fall back to the benchmark-set
+    registry (ingested external traces, :mod:`repro.workloads.registry`);
+    there ``instructions`` caps the record count and ``None`` means the
+    whole file, so external traces are never padded or truncated to the
+    synthetic default budget.
     """
+    if trace_name not in _BUILDERS and trace_name not in EXTRA_WORKLOADS:
+        from . import registry
+
+        return registry.get_trace(
+            trace_name, instructions, use_cache=use_cache
+        )
     if instructions is None:
         instructions = default_instructions()
     cache_path = trace_cache_path(trace_name, instructions)
@@ -361,7 +378,13 @@ def get_predictor_stream(
     On a warm cache this reads only the four persisted stream arrays from
     the ``.npz`` (skipping the nine full event columns); on a cold cache it
     generates the trace through :func:`get_trace` (locked + atomic) first.
+    Registry (ingested) trace names resolve the same way through the
+    registry's own cache naming.
     """
+    if trace_name not in _BUILDERS and trace_name not in EXTRA_WORKLOADS:
+        from . import registry
+
+        return registry.get_predictor_stream(trace_name, instructions)
     if instructions is None:
         instructions = default_instructions()
     cache_path = trace_cache_path(trace_name, instructions)

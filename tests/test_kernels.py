@@ -19,7 +19,7 @@ import pytest
 
 from repro.common.bitops import fold_xor
 from repro.eval.metrics import PredictorMetrics
-from repro.eval.runner import run_on_columns
+from repro.serve.session import run_on_columns
 from repro.kernels import (
     BACKEND_ENV,
     BACKEND_NUMPY,

@@ -1,0 +1,132 @@
+"""Deprecation shims in :mod:`repro.eval.runner`.
+
+PR 7 moved the evaluation loops to :mod:`repro.serve.session` and left
+``run_on_stream``/``run_on_columns``/``run_predictor`` behind as
+delegating shims.  These tests pin the shim contract:
+
+* each shim calls the same-named function in ``repro.serve.session``
+  (lazy import, so monkeypatching the serve module is observed) and
+  returns its result unchanged;
+* each shim emits ``DeprecationWarning`` exactly once per process, with
+  a message that names both the old and the new home;
+* the shims still produce correct metrics end-to-end, so historical
+  imports keep working.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.eval.metrics import PredictorMetrics
+from repro.eval import runner
+from repro.predictors.stride import StridePredictor
+from repro.serve import session
+from repro.trace import KIND_LOAD, Trace
+
+SHIM_NAMES = ["run_on_stream", "run_on_columns", "run_predictor"]
+
+
+@pytest.fixture(autouse=True)
+def _reset_warned():
+    """Each test observes warn-once behaviour from a clean slate."""
+    saved = set(runner._WARNED)
+    runner._WARNED.clear()
+    yield
+    runner._WARNED.clear()
+    runner._WARNED.update(saved)
+
+
+def _shim_arg(name):
+    trace = _trace()
+    if name == "run_on_columns":
+        return trace.predictor_columns()
+    return trace.predictor_stream()
+
+
+def _trace():
+    trace = Trace()
+    for i in range(64):
+        trace.append(kind=KIND_LOAD, ip=0x400100, addr=0x1000 + 8 * i)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Delegation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SHIM_NAMES)
+def test_shim_delegates_to_serve_session(name, monkeypatch):
+    calls = []
+    sentinel = object()
+
+    def fake(*args, **kwargs):
+        calls.append((args, kwargs))
+        return sentinel
+
+    monkeypatch.setattr(session, name, fake)
+    shim = getattr(runner, name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        if name == "run_predictor":
+            result = shim(StridePredictor(), _trace())
+        else:
+            result = shim(StridePredictor(), _shim_arg(name), PredictorMetrics())
+    assert result is sentinel
+    assert len(calls) == 1
+
+
+def test_run_predictor_shim_matches_direct_call():
+    trace = _trace()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        via_shim = runner.run_predictor(StridePredictor(), trace)
+    direct = session.run_predictor(StridePredictor(), trace)
+    assert (via_shim.loads, via_shim.predictions, via_shim.correct_speculative,
+            via_shim.correct_predictions) == (
+        direct.loads, direct.predictions, direct.correct_speculative,
+        direct.correct_predictions)
+    assert via_shim.loads > 0
+
+
+# ---------------------------------------------------------------------------
+# Warn-once behaviour
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", SHIM_NAMES)
+def test_shim_warns_exactly_once(name):
+    shim = getattr(runner, name)
+
+    def invoke():
+        if name == "run_predictor":
+            return shim(StridePredictor(), _trace())
+        return shim(StridePredictor(), _shim_arg(name), PredictorMetrics())
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        invoke()
+        invoke()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert f"repro.eval.runner.{name} is deprecated" in message
+    assert f"repro.serve.session.{name}" in message
+
+
+def test_each_shim_warns_independently():
+    trace = _trace()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        runner.run_predictor(StridePredictor(), trace)
+        runner.run_on_columns(StridePredictor(), trace.predictor_columns(),
+                              PredictorMetrics())
+        runner.run_on_stream(StridePredictor(), trace.predictor_stream(),
+                             PredictorMetrics())
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 3
+    assert runner._WARNED == set(SHIM_NAMES)
