@@ -165,15 +165,19 @@ def seg_clamped_walk(
 def fold_xor_array(values: np.ndarray, width: int) -> np.ndarray:
     """Vectorised :func:`repro.common.bitops.fold_xor`.
 
-    XOR-folds each value down to ``width`` bits.  Values are assumed
-    non-negative (trace addresses/ips always are; the scalar helper's
-    ``abs`` exists for defensive symmetry only).
+    XOR-folds each value down to ``width`` bits.  Ingest canonicalises
+    addresses to 63 bits, but this kernel must terminate for *any*
+    int64 input: a negative value (an un-canonicalised address at or
+    above ``2**63``) under arithmetic ``>>`` converges to ``-1``, never
+    ``0``, and the fold loop below would spin forever.  Dropping the
+    sign bit at entry bounds the loop; for canonical inputs the mask is
+    the identity.
     """
     if width <= 0:
         return np.zeros_like(values)
     mask = np.int64((1 << width) - 1)
     folded = np.zeros_like(values)
-    remaining = values.copy()
+    remaining = values & np.int64((1 << 63) - 1)
     while True:
         live = remaining != 0
         if not live.any():

@@ -6,10 +6,14 @@ Usage::
     python -m repro lint src/repro/predictors   # one package
     python -m repro lint --rules R001 R003      # rule subset
     python -m repro lint --format json          # machine-readable
+    python -m repro lint --format sarif         # code-scanning upload
     python -m repro lint --list-rules           # rule catalogue
+    python -m repro lint --list-suppressions    # suppression debt audit
 
 Exit status: 0 on a clean tree (no unsuppressed findings, no parse
 errors), 1 otherwise — suitable for CI gating.
+``--list-suppressions`` exits 1 when any directive names an
+unregistered rule or lacks a justification in its neighbourhood.
 """
 
 from __future__ import annotations
@@ -18,8 +22,8 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from .core import all_rules, lint_paths
-from .reporters import render_json, render_text
+from .core import all_rules, collect_suppressions, lint_paths
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
 
@@ -46,7 +50,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -59,6 +63,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--list-suppressions",
+        action="store_true",
+        help="audit every in-tree suppression directive and exit"
+        " (1 if any is unjustified or names an unknown rule)",
     )
 
 
@@ -78,6 +88,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
         # Anchor finding paths at the repo root (two levels above repro/).
         root = _default_target().parent.parent
 
+    if getattr(args, "list_suppressions", False):
+        return _run_suppression_audit(targets, root)
+
     try:
         result = lint_paths(targets, rules=args.rules, root=root)
     except KeyError as exc:
@@ -86,9 +99,36 @@ def run_lint_command(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result, show_suppressed=args.show_suppressed))
     return 0 if result.ok else 1
+
+
+def _run_suppression_audit(
+    targets: List[Path], root: Optional[Path]
+) -> int:
+    """Print every suppression directive; non-zero on audit failures."""
+    sites = collect_suppressions(targets, root=root)
+    known = set(all_rules())
+    failures = 0
+    for site in sites:
+        problems = []
+        unknown = [rule for rule in site.rules if rule not in known]
+        if unknown:
+            problems.append(f"unknown rule(s) {','.join(unknown)}")
+        if not site.justified:
+            problems.append("no justification comment in reach")
+        line = site.format()
+        if problems:
+            failures += 1
+            line += "  <-- " + "; ".join(problems)
+        print(line)
+    print(
+        f"{len(sites)} suppression(s), {failures} audit failure(s)"
+    )
+    return 0 if failures == 0 else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

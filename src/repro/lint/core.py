@@ -21,7 +21,10 @@ __all__ = [
     "LintResult",
     "ModuleInfo",
     "Rule",
+    "SuppressionSite",
+    "TraceStep",
     "all_rules",
+    "collect_suppressions",
     "get_rules",
     "lint_module",
     "lint_paths",
@@ -36,6 +39,21 @@ _SUPPRESS_RE = re.compile(
 
 
 @dataclass(frozen=True)
+class TraceStep:
+    """One hop of a finding's def→use / control-flow trace."""
+
+    line: int            # 1-based line in ``path``
+    note: str            # "read of self._sessions_active", "await ..."
+    path: str = ""       # defaults to the finding's own path
+
+    def as_dict(self) -> dict:
+        payload: dict = {"line": self.line, "note": self.note}
+        if self.path:
+            payload["path"] = self.path
+        return payload
+
+
+@dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -45,6 +63,8 @@ class Finding:
     message: str         # human-readable description
     symbol: str = ""     # class/function the finding anchors to, if any
     suppressed: bool = False
+    #: Optional dataflow trace (def→use chain, await crossings ...).
+    trace: tuple = ()
 
     def format(self) -> str:
         tag = " (suppressed)" if self.suppressed else ""
@@ -53,7 +73,7 @@ class Finding:
         return f"{where}: {self.rule}{anchor} {self.message}{tag}"
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
@@ -61,6 +81,9 @@ class Finding:
             "symbol": self.symbol,
             "suppressed": self.suppressed,
         }
+        if self.trace:
+            payload["trace"] = [step.as_dict() for step in self.trace]
+        return payload
 
 
 class _ParentAnnotator(ast.NodeVisitor):
@@ -106,6 +129,12 @@ class ModuleInfo:
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
+            # Documentation *about* the directive quotes it in literal
+            # backticks (``# repro-lint: ...``); only unquoted
+            # occurrences are live directives.
+            start = match.start()
+            if start > 0 and text[start - 1] == "`":
+                continue
             rules = {
                 token.strip()
                 for token in match.group(1).split(",")
@@ -117,6 +146,11 @@ class ModuleInfo:
     def suppressed(self, line: int, rule: str) -> bool:
         """Is ``rule`` disabled on ``line`` (same physical line only)?"""
         return rule in self._suppressions.get(line, set())
+
+    def suppression_lines(self) -> Dict[int, set]:
+        """Every ``disable=`` directive in this module, line → rule ids
+        (a copy — for the suppression-debt audit)."""
+        return {line: set(rules) for line, rules in self._suppressions.items()}
 
     # -- convenience ----------------------------------------------------
 
@@ -157,11 +191,27 @@ class Rule:
     Subclasses set ``id``/``title``/``rationale`` and implement
     :meth:`check`.  Registration happens via the :func:`register`
     decorator, which keys the registry by ``id``.
+
+    Rules that reason across modules set ``needs_project = True``; the
+    drivers then call :meth:`bind` with a ``repro.lint.flow.Project``
+    and ``CallGraph`` spanning the whole run before any module is
+    checked.  An unbound rule (direct :func:`lint_module` use, fixture
+    runs) must degrade to single-module reasoning — never fail.
     """
 
     id: str = ""
     title: str = ""
     rationale: str = ""
+    needs_project: bool = False
+
+    def __init__(self) -> None:
+        self.project = None
+        self.callgraph = None
+
+    def bind(self, project, callgraph) -> None:
+        """Attach the cross-module context for this run."""
+        self.project = project
+        self.callgraph = callgraph
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         raise NotImplementedError
@@ -172,6 +222,7 @@ class Rule:
         node: ast.AST,
         message: str,
         symbol: str = "",
+        trace: Sequence[TraceStep] = (),
     ) -> Finding:
         return Finding(
             rule=self.id,
@@ -179,6 +230,7 @@ class Rule:
             line=getattr(node, "lineno", 1),
             message=message,
             symbol=symbol,
+            trace=tuple(trace),
         )
 
 
@@ -249,6 +301,7 @@ def lint_module(
                     message=found.message,
                     symbol=found.symbol,
                     suppressed=True,
+                    trace=found.trace,
                 )
             findings.append(found)
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
@@ -260,8 +313,32 @@ def lint_source(
     relpath: str = "<string>",
     rules: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint an in-memory source string under a (possibly virtual) path."""
-    return lint_module(ModuleInfo(relpath, source), get_rules(rules))
+    """Lint an in-memory source string under a (possibly virtual) path.
+
+    Flow rules get a single-module project — cross-module resolution
+    degrades gracefully, which is exactly what fixture tests exercise.
+    """
+    module = ModuleInfo(relpath, source)
+    selected = get_rules(rules)
+    _bind_project(selected, [module])
+    return lint_module(module, selected)
+
+
+def _bind_project(rules: Sequence[Rule], modules: List[ModuleInfo]) -> None:
+    """Build the flow-layer project/call-graph for rules that want one.
+
+    Imported lazily — ``repro.lint.flow`` imports this module, and most
+    runs (single syntactic rule, ``--list-rules``) never need the graph.
+    """
+    if not any(rule.needs_project for rule in rules):
+        return
+    from .flow import CallGraph, Project  # local import: cycle + cost
+
+    project = Project(modules)
+    graph = CallGraph(project)
+    for rule in rules:
+        if rule.needs_project:
+            rule.bind(project, graph)
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -285,6 +362,74 @@ def lint_paths(
     selected = get_rules(rules)
     base = (root or Path.cwd()).resolve()
     result = LintResult()
+    modules: List[ModuleInfo] = []
+    for file_path in _iter_python_files(Path(p) for p in paths):
+        resolved = file_path.resolve()
+        try:
+            relpath = str(resolved.relative_to(base))
+        except ValueError:
+            relpath = str(file_path)
+        try:
+            source = resolved.read_text(encoding="utf-8")
+            modules.append(ModuleInfo(relpath, source))
+        except (OSError, SyntaxError) as exc:
+            result.errors.append(f"{relpath}: {exc}")
+            continue
+        result.files_checked += 1
+    # Two-pass: parse everything first so cross-module rules see the
+    # whole file set, then check each module against the bound rules.
+    _bind_project(selected, modules)
+    for module in modules:
+        result.findings.extend(lint_module(module, selected))
+    return result
+
+
+@dataclass(frozen=True)
+class SuppressionSite:
+    """One in-tree ``repro-lint: disable=`` directive."""
+
+    path: str
+    line: int
+    rules: tuple          # rule ids named by the directive
+    text: str             # the source line carrying the directive
+    justified: bool       # a comment/docstring sits within reach above
+
+    def format(self) -> str:
+        rules = ",".join(self.rules)
+        status = "" if self.justified else "  [UNJUSTIFIED]"
+        return f"{self.path}:{self.line}: {rules}{status}  {self.text.strip()}"
+
+
+#: How many lines above a directive may carry its justification.
+_JUSTIFICATION_REACH = 6
+
+
+def _has_justification(lines: List[str], line: int) -> bool:
+    """A suppression is justified when an explanatory comment or a
+    docstring sits on the same line after the directive, or within the
+    preceding few lines (matching the documented convention that every
+    suppression's neighbourhood explains *why* the rule is wrong here)."""
+    text = lines[line - 1]
+    match = _SUPPRESS_RE.search(text)
+    if match is not None and text[match.end():].strip(" -—:#"):
+        return True
+    start = max(0, line - 1 - _JUSTIFICATION_REACH)
+    for neighbour in lines[start:line - 1]:
+        stripped = neighbour.strip()
+        if '"""' in stripped or "'''" in stripped:
+            return True
+        if "#" in neighbour and _SUPPRESS_RE.search(neighbour) is None:
+            return True
+    return False
+
+
+def collect_suppressions(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+) -> List[SuppressionSite]:
+    """Inventory every suppression directive under ``paths``."""
+    base = (root or Path.cwd()).resolve()
+    sites: List[SuppressionSite] = []
     for file_path in _iter_python_files(Path(p) for p in paths):
         resolved = file_path.resolve()
         try:
@@ -294,9 +439,17 @@ def lint_paths(
         try:
             source = resolved.read_text(encoding="utf-8")
             module = ModuleInfo(relpath, source)
-        except (OSError, SyntaxError) as exc:
-            result.errors.append(f"{relpath}: {exc}")
+        except (OSError, SyntaxError):
             continue
-        result.files_checked += 1
-        result.findings.extend(lint_module(module, selected))
-    return result
+        for line, rules in sorted(module.suppression_lines().items()):
+            sites.append(
+                SuppressionSite(
+                    path=relpath,
+                    line=line,
+                    rules=tuple(sorted(rules)),
+                    text=module.lines[line - 1],
+                    justified=_has_justification(module.lines, line),
+                )
+            )
+    sites.sort(key=lambda s: (s.path, s.line))
+    return sites

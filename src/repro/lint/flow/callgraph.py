@@ -1,0 +1,251 @@
+"""Best-effort call graph over a :class:`~.project.Project`.
+
+Resolution covers the statically pin-downable shapes the repo actually
+uses: direct calls to module-level functions, ``from x import f`` names,
+``module_alias.symbol(...)``, ``self.method(...)`` inside a class, and
+``ClassName(...)`` constructors.  Everything else — registry lookups,
+callbacks, methods on objects of unknown type — becomes an *unresolved*
+edge.  Unresolved edges are first-class data: rules inspect them to
+decide whether an interprocedural answer is trustworthy or whether to
+degrade to the intraprocedural result.
+
+On top of the edges the graph computes one transitive summary the
+error-hygiene rule needs: the set of exception names each function may
+raise (directly, or via any resolved callee), solved by fixpoint.  The
+summary respects in-function handling: a raise or call wrapped in a
+``try`` whose handlers catch the exception (by name, or by a base class
+found in the project's own class hierarchy) does not propagate it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .project import FunctionInfo, Project
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function."""
+
+    call: ast.Call
+    caller: FunctionInfo
+    callee: Optional[FunctionInfo]  # None = unresolved
+
+    @property
+    def line(self) -> int:
+        return getattr(self.call, "lineno", 0)
+
+    @property
+    def label(self) -> str:
+        func = self.call.func
+        parts: List[str] = []
+        node: ast.AST = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return "<dynamic>"
+
+
+class CallGraph:
+    """Call sites + edges + raises-summaries for a project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.sites: Dict[Tuple[str, str], List[CallSite]] = {}
+        self._raises: Dict[Tuple[str, str], Set[str]] = {}
+        self._bases = self._class_bases()
+        for info in project.iter_functions():
+            self.sites[self._key(info)] = self._collect_sites(info)
+        self._solve_raises()
+
+    def _key(self, info: FunctionInfo) -> Tuple[str, str]:
+        return (self.project.module_of(info.module), info.qualname)
+
+    # -- construction ----------------------------------------------------
+
+    def _collect_sites(self, info: FunctionInfo) -> List[CallSite]:
+        sites: List[CallSite] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                sites.append(
+                    CallSite(node, info, self.resolve_call(info, node))
+                )
+        return sites
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        func = call.func
+        module = caller.module
+        if isinstance(func, ast.Name):
+            return self.project.resolve_name(module, func.id)
+        if isinstance(func, ast.Attribute):
+            chain: List[str] = []
+            node: ast.AST = func
+            while isinstance(node, ast.Attribute):
+                chain.append(node.attr)
+                node = node.value
+            if not isinstance(node, ast.Name):
+                return None
+            chain.append(node.id)
+            chain.reverse()
+            if chain[0] == "self" and caller.owner and len(chain) == 2:
+                return self.project.method_in_class(
+                    module, caller.owner, chain[1]
+                )
+            return self.project.resolve_attribute(module, tuple(chain))
+        return None
+
+    # -- queries ---------------------------------------------------------
+
+    def callees(self, info: FunctionInfo) -> List[CallSite]:
+        return self.sites.get(self._key(info), [])
+
+    def resolved_callees(self, info: FunctionInfo) -> List[FunctionInfo]:
+        return [
+            site.callee
+            for site in self.callees(info)
+            if site.callee is not None
+        ]
+
+    def unresolved_sites(self, info: FunctionInfo) -> List[CallSite]:
+        return [
+            site for site in self.callees(info) if site.callee is None
+        ]
+
+    def iter_edges(self) -> Iterator[CallSite]:
+        for key in sorted(self.sites):
+            yield from self.sites[key]
+
+    # -- exception hierarchy (from the project's own class defs) ---------
+
+    def _class_bases(self) -> Dict[str, Set[str]]:
+        """Transitive base-class names for every project class."""
+        direct: Dict[str, Set[str]] = {}
+        for (_, name), cls in self.project.classes.items():
+            bases = direct.setdefault(name, set())
+            for base in cls.node.bases:
+                node: ast.AST = base
+                while isinstance(node, ast.Attribute):
+                    node = ast.Name(id=node.attr, ctx=ast.Load())
+                    break
+                if isinstance(node, ast.Name):
+                    bases.add(node.id)
+        closed: Dict[str, Set[str]] = {}
+        for name in direct:
+            seen: Set[str] = set()
+            frontier = list(direct[name])
+            while frontier:
+                base = frontier.pop()
+                if base in seen:
+                    continue
+                seen.add(base)
+                frontier.extend(direct.get(base, ()))
+            closed[name] = seen
+        return closed
+
+    def _is_caught(self, raised: str, caught: Set[str]) -> bool:
+        if raised in caught:
+            return True
+        if "BaseException" in caught or "Exception" in caught:
+            return True
+        return bool(self._bases.get(raised, set()) & caught)
+
+    @staticmethod
+    def _caught_names_at(node: ast.AST, func: ast.AST) -> Set[str]:
+        """Exception names caught by ``try`` blocks whose *body*
+        contains ``node``, walking out to the function boundary.
+        Requires the ``_lint_parent`` annotations ModuleInfo installs."""
+        caught: Set[str] = set()
+        current = getattr(node, "_lint_parent", None)
+        while current is not None and current is not func:
+            if isinstance(current, ast.Try) and any(
+                any(child is node for child in ast.walk(statement))
+                for statement in current.body
+            ):
+                for handler in current.handlers:
+                    spec = handler.type
+                    if spec is None:
+                        caught.add("BaseException")
+                        continue
+                    elements = (
+                        spec.elts
+                        if isinstance(spec, ast.Tuple)
+                        else [spec]
+                    )
+                    for element in elements:
+                        tail: ast.AST = element
+                        while isinstance(tail, ast.Attribute):
+                            tail = ast.Name(id=tail.attr, ctx=ast.Load())
+                            break
+                        if isinstance(tail, ast.Name):
+                            caught.add(tail.id)
+            current = getattr(current, "_lint_parent", None)
+        return caught
+
+    # -- raises summaries ------------------------------------------------
+
+    def _direct_raises(self, info: FunctionInfo) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                exc = exc.func
+            while isinstance(exc, ast.Attribute):
+                exc = ast.Name(id=exc.attr, ctx=ast.Load())
+                break
+            if not isinstance(exc, ast.Name):
+                continue
+            caught = self._caught_names_at(node, info.node)
+            if self._is_caught(exc.id, caught):
+                continue
+            names.add(exc.id)
+        return names
+
+    def _solve_raises(self) -> None:
+        for info in self.project.iter_functions():
+            self._raises[self._key(info)] = self._direct_raises(info)
+        changed = True
+        while changed:
+            changed = False
+            for info in self.project.iter_functions():
+                key = self._key(info)
+                current = self._raises[key]
+                for site in self.callees(info):
+                    if site.callee is None:
+                        continue
+                    extra = self._raises.get(
+                        self._key(site.callee), set()
+                    )
+                    if not extra:
+                        continue
+                    caught = self._caught_names_at(
+                        site.call, info.node
+                    )
+                    if caught:
+                        extra = {
+                            name
+                            for name in extra
+                            if not self._is_caught(name, caught)
+                        }
+                    if not extra <= current:
+                        current = current | extra
+                if current != self._raises[key]:
+                    self._raises[key] = current
+                    changed = True
+
+    def raises(self, info: FunctionInfo) -> Set[str]:
+        """Exception names ``info`` may raise, transitively through
+        resolved calls.  Unresolved calls contribute nothing — callers
+        must treat the summary as a lower bound."""
+        return set(self._raises.get(self._key(info), set()))

@@ -1,0 +1,332 @@
+"""Per-function control-flow graphs at statement granularity.
+
+Each *simple* statement (assignment, expression, return, raise ...) is
+one node; compound statements contribute their headers and recurse into
+their bodies.  The graph supports the one query the await-atomicity and
+range rules need beyond plain reachability: *is there a path from
+statement A to statement B that crosses a coroutine suspension point*
+(an ``await`` expression, or a ``yield``/``yield from``)?
+
+Edges model: sequencing, ``if``/``else``, ``while``/``for`` loops with
+back edges and ``break``/``continue``, ``try``/``except``/``finally``
+(conservatively: every statement of a ``try`` body may jump to every
+handler), ``with``/``async with`` bodies, and ``return``/``raise``
+terminating the path.  Exceptional edges out of *arbitrary* expressions
+are not modelled — for race detection that is the conservative-enough
+direction, since an exception cuts a path short rather than adding an
+interleaving.
+
+``Node.suspends`` marks nodes whose statement *contains* a suspension
+point; path queries treat the suspension as happening strictly inside
+the node, so A→B "crossing" a suspension means some interior node
+suspends, or A itself suspends after its reads, or B suspends before
+its effect — callers pick the semantics via flags.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["CFG", "Node", "build_cfg", "scan_roots", "suspension_points"]
+
+
+def scan_roots(statement: ast.stmt) -> List[ast.AST]:
+    """The AST nodes a per-node analysis should scan for ``statement``.
+
+    Simple statements scan themselves.  Compound statements scan only
+    their *header* expressions — their bodies are separate CFG nodes and
+    scanning them through the header would double-count every event.
+    """
+    if isinstance(statement, (ast.If, ast.While)):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.target, statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        roots: List[ast.AST] = []
+        for item in statement.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+        return roots
+    if isinstance(statement, ast.Try):
+        return []
+    return [statement]
+
+
+def suspension_points(statement: ast.stmt) -> List[ast.AST]:
+    """Await/yield expressions contained in ``statement`` itself (not in
+    nested function definitions)."""
+    found: List[ast.AST] = []
+    stack: List[ast.AST] = [statement]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+            found.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                continue  # a nested scope suspends itself, not us
+            stack.append(child)
+    found.sort(key=lambda n: (getattr(n, "lineno", 0),
+                              getattr(n, "col_offset", 0)))
+    return found
+
+
+@dataclass
+class Node:
+    """One CFG node: a simple statement or a compound-statement header."""
+
+    index: int
+    statement: ast.stmt
+    succ: Set[int] = field(default_factory=set)
+    pred: Set[int] = field(default_factory=set)
+    #: This node's statement contains an await/yield.
+    suspends: bool = False
+    #: Nodes lexically inside an except handler / finally block carry
+    #: the ``try`` header's node index (compensation detection).
+    handler_of: Optional[int] = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.statement, "lineno", 0)
+
+
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self.entry: Optional[int] = None
+        self._index_of: Dict[int, int] = {}  # id(statement) -> node
+
+    # -- construction helpers (used by build_cfg) ------------------------
+
+    def add(self, statement: ast.stmt) -> int:
+        node = Node(index=len(self.nodes), statement=statement)
+        node.suspends = bool(suspension_points(statement))
+        self.nodes.append(node)
+        self._index_of[id(statement)] = node.index
+        return node.index
+
+    def link(self, src: Optional[int], dst: Optional[int]) -> None:
+        if src is None or dst is None:
+            return
+        self.nodes[src].succ.add(dst)
+        self.nodes[dst].pred.add(src)
+
+    # -- queries ---------------------------------------------------------
+
+    def node_for(self, statement: ast.stmt) -> Optional[Node]:
+        index = self._index_of.get(id(statement))
+        return self.nodes[index] if index is not None else None
+
+    def iter_statements(self) -> Iterator[ast.stmt]:
+        for node in self.nodes:
+            yield node.statement
+
+    def suspending_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.suspends]
+
+    def path_crosses_suspension(
+        self,
+        source: ast.stmt,
+        target: ast.stmt,
+        include_endpoints: bool = False,
+    ) -> Optional[List[Node]]:
+        """A path source→target crossing a suspension point, or ``None``.
+
+        The default requires a *strictly interior* suspending node —
+        the semantics of "a value read at ``source`` is stale by the
+        time ``target`` runs".  The returned path (source node, ...,
+        suspending node, ..., target node) feeds the finding's trace.
+        """
+        src = self.node_for(source)
+        dst = self.node_for(target)
+        if src is None or dst is None or src.index == dst.index:
+            return None
+        # BFS over (node, crossed) product states.
+        start = (src.index, bool(include_endpoints and src.suspends))
+        seen: Set[Tuple[int, bool]] = {start}
+        parents: Dict[Tuple[int, bool], Tuple[int, bool]] = {}
+        frontier: List[Tuple[int, bool]] = [start]
+        goal: Optional[Tuple[int, bool]] = None
+        while frontier and goal is None:
+            next_frontier: List[Tuple[int, bool]] = []
+            for state in frontier:
+                index, crossed = state
+                for succ in sorted(self.nodes[index].succ):
+                    node = self.nodes[succ]
+                    now_crossed = crossed or (
+                        node.suspends
+                        and (succ != dst.index or include_endpoints)
+                    )
+                    nxt = (succ, now_crossed)
+                    if nxt in seen:
+                        continue
+                    seen.add(nxt)
+                    parents[nxt] = state
+                    if succ == dst.index and now_crossed:
+                        goal = nxt
+                        break
+                    next_frontier.append(nxt)
+                if goal is not None:
+                    break
+            frontier = next_frontier
+        if goal is None:
+            return None
+        path: List[Node] = []
+        state: Optional[Tuple[int, bool]] = goal
+        while state is not None:
+            path.append(self.nodes[state[0]])
+            state = parents.get(state)
+        path.reverse()
+        return path
+
+    def in_handler_of_suspending_try(self, statement: ast.stmt) -> bool:
+        """True when ``statement`` sits in an except/finally block whose
+        ``try`` body contains a suspension point — the sanctioned
+        *compensation* position (rolling back a pre-await reservation
+        after the awaited action failed)."""
+        node = self.node_for(statement)
+        if node is None or node.handler_of is None:
+            return False
+        try_header = self.nodes[node.handler_of].statement
+        if not isinstance(try_header, ast.Try):
+            return False
+        return any(
+            suspension_points(body_stmt) for body_stmt in try_header.body
+        )
+
+
+def _under_try_body(header: ast.Try, statement: ast.AST) -> bool:
+    """Is ``statement`` (transitively) inside ``header.body``?"""
+    stack: List[ast.AST] = list(header.body)
+    while stack:
+        node = stack.pop()
+        if node is statement:
+            return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction.
+
+    ``_emit(statements, frontier)`` wires a statement list after the
+    given frontier nodes and returns the new frontier (nodes whose
+    successor is whatever comes next).  Loop contexts track break /
+    continue targets.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._loop_stack: List[Tuple[int, List[int]]] = []
+        self._exits: List[int] = []  # return/raise nodes
+
+    def build(self, body: List[ast.stmt]) -> None:
+        if not body:
+            return
+        frontier = self._emit(body, [])
+        del frontier  # fallthrough off the end: no explicit exit node
+
+    # -- plumbing --------------------------------------------------------
+
+    def _emit(
+        self, statements: List[ast.stmt], frontier: List[int]
+    ) -> List[int]:
+        for statement in statements:
+            frontier = self._emit_one(statement, frontier)
+        return frontier
+
+    def _seed(self, statement: ast.stmt, frontier: List[int]) -> int:
+        index = self.cfg.add(statement)
+        if self.cfg.entry is None:
+            self.cfg.entry = index
+        for prev in frontier:
+            self.cfg.link(prev, index)
+        return index
+
+    def _emit_one(
+        self, statement: ast.stmt, frontier: List[int]
+    ) -> List[int]:
+        cfg = self.cfg
+        if isinstance(statement, ast.If):
+            header = self._seed(statement, frontier)
+            then_exit = self._emit(statement.body, [header])
+            if statement.orelse:
+                else_exit = self._emit(statement.orelse, [header])
+                return then_exit + else_exit
+            return then_exit + [header]
+        if isinstance(statement, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._seed(statement, frontier)
+            breaks: List[int] = []
+            self._loop_stack.append((header, breaks))
+            body_exit = self._emit(statement.body, [header])
+            self._loop_stack.pop()
+            for tail in body_exit:
+                cfg.link(tail, header)  # back edge
+            after: List[int] = [header] + breaks
+            if statement.orelse:
+                after = self._emit(statement.orelse, [header]) + breaks
+            return after
+        if isinstance(statement, (ast.With, ast.AsyncWith)):
+            header = self._seed(statement, frontier)
+            return self._emit(statement.body, [header])
+        if isinstance(statement, ast.Try):
+            header = self._seed(statement, frontier)
+            body_exit = self._emit(statement.body, [header])
+            # Conservative: any statement in the body may raise into any
+            # handler, so every body node links to each handler's head.
+            body_nodes = [
+                node.index
+                for node in cfg.nodes
+                if _under_try_body(statement, node.statement)
+            ]
+            handler_exits: List[int] = []
+            for handler in statement.handlers:
+                first = len(cfg.nodes)
+                exits = self._emit(
+                    handler.body, body_nodes or [header]
+                )
+                for node in cfg.nodes[first:]:
+                    if node.handler_of is None:
+                        node.handler_of = header
+                handler_exits.extend(exits)
+            else_exit = body_exit
+            if statement.orelse:
+                else_exit = self._emit(statement.orelse, body_exit)
+            merged = else_exit + handler_exits
+            if statement.finalbody:
+                first = len(cfg.nodes)
+                merged = self._emit(statement.finalbody, merged)
+                for node in cfg.nodes[first:]:
+                    if node.handler_of is None:
+                        node.handler_of = header
+            return merged
+        # Simple statement.
+        index = self._seed(statement, frontier)
+        if isinstance(statement, (ast.Return, ast.Raise)):
+            self._exits.append(index)
+            return []
+        if isinstance(statement, ast.Break):
+            if self._loop_stack:
+                self._loop_stack[-1][1].append(index)
+            return []
+        if isinstance(statement, ast.Continue):
+            if self._loop_stack:
+                self.cfg.link(index, self._loop_stack[-1][0])
+            return []
+        return [index]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG of a ``FunctionDef`` / ``AsyncFunctionDef`` body."""
+    cfg = CFG(func)
+    body = getattr(func, "body", [])
+    _Builder(cfg).build(list(body))
+    return cfg

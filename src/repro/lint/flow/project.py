@@ -1,0 +1,248 @@
+"""Module resolution over a linted file set.
+
+A :class:`Project` holds every :class:`~repro.lint.core.ModuleInfo` of
+one lint run, keyed by dotted module name, plus a symbol table of
+top-level functions, classes and methods.  It answers the questions the
+call graph and the flow rules need:
+
+* ``module_name("src/repro/serve/server.py")`` → ``"repro.serve.server"``
+* ``resolve_import(module, "sniff_format")`` → the function's
+  :class:`FunctionInfo` in ``repro.ingest.formats`` (or ``None``)
+* ``functions`` / ``classes`` — every definition, with its AST node
+
+Resolution is *best effort by construction*: anything dynamic (star
+imports, attribute indirection through objects, registries) resolves to
+``None`` and consumers fall back to intraprocedural reasoning.  A
+project built from a single in-memory module (the ``lint_source`` path
+used by fixtures) simply has an almost-empty symbol table — the same
+degradation, exercised by tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core import ModuleInfo
+
+__all__ = ["FunctionInfo", "ClassInfo", "Project", "module_name_of"]
+
+
+def module_name_of(relpath: str) -> Optional[str]:
+    """Dotted module name for a repo-relative path, or ``None``.
+
+    ``src/repro/serve/server.py`` → ``repro.serve.server``;
+    ``src/repro/lint/__init__.py`` → ``repro.lint``.  Paths outside a
+    recognizable package root (fixtures under ``tests/``, virtual
+    paths) return the path-derived tail so same-module resolution still
+    works, and ``None`` only for unparseable paths.
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    stem = parts[-1][: -len(".py")]
+    head = parts[:-1]
+    pieces = head if stem == "__init__" else head + [stem]
+    if not pieces:
+        return None
+    return ".".join(pieces)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition inside the project."""
+
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str  # "shard_worker" or "PredictionServer._on_open"
+    #: Enclosing class name for methods, "" for module-level functions.
+    owner: str = ""
+
+    @property
+    def name(self) -> str:
+        return getattr(self.node, "name", "")
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class definition and its direct methods."""
+
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+class Project:
+    """Symbol table + import map over one lint run's modules."""
+
+    def __init__(
+        self,
+        modules: List[ModuleInfo],
+        root: Optional[Path] = None,
+    ) -> None:
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: module name -> local alias -> (module name, symbol | "")
+        self._imports: Dict[str, Dict[str, Tuple[str, str]]] = {}
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        self.classes: Dict[Tuple[str, str], ClassInfo] = {}
+        for module in modules:
+            self.add_module(module)
+
+    # -- construction ----------------------------------------------------
+
+    def add_module(self, module: ModuleInfo) -> None:
+        name = module_name_of(module.relpath)
+        if name is None:
+            name = module.relpath
+        self.modules[name] = module
+        self._imports[name] = self._collect_imports(name, module)
+        for statement in module.tree.body:
+            if isinstance(
+                statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                info = FunctionInfo(
+                    module=module,
+                    node=statement,
+                    qualname=statement.name,
+                )
+                self.functions[(name, statement.name)] = info
+            elif isinstance(statement, ast.ClassDef):
+                cls = ClassInfo(module=module, node=statement)
+                for method in statement.body:
+                    if isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        minfo = FunctionInfo(
+                            module=module,
+                            node=method,
+                            qualname=f"{statement.name}.{method.name}",
+                            owner=statement.name,
+                        )
+                        cls.methods[method.name] = minfo
+                        self.functions[
+                            (name, f"{statement.name}.{method.name}")
+                        ] = minfo
+                self.classes[(name, statement.name)] = cls
+
+    def _collect_imports(
+        self, name: str, module: ModuleInfo
+    ) -> Dict[str, Tuple[str, str]]:
+        """Map each locally bound alias to (source module, symbol)."""
+        table: Dict[str, Tuple[str, str]] = {}
+        package = name.rsplit(".", 1)[0] if "." in name else name
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    table[bound] = (alias.name, "")
+            elif isinstance(node, ast.ImportFrom):
+                source = self._resolve_relative(
+                    package, node.module, node.level
+                )
+                if source is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    table[bound] = (source, alias.name)
+        return table
+
+    @staticmethod
+    def _resolve_relative(
+        package: str, module: Optional[str], level: int
+    ) -> Optional[str]:
+        """Absolute module name of a (possibly relative) import source."""
+        if level == 0:
+            return module
+        parts = package.split(".")
+        # level 1 = current package, each extra level strips one parent.
+        if level - 1 >= len(parts):
+            return None
+        base = parts[: len(parts) - (level - 1)]
+        if module:
+            base = base + module.split(".")
+        return ".".join(base) if base else None
+
+    # -- queries ---------------------------------------------------------
+
+    def module_of(self, module: ModuleInfo) -> str:
+        name = module_name_of(module.relpath)
+        return name if name is not None else module.relpath
+
+    def function(
+        self, module_name: str, qualname: str
+    ) -> Optional[FunctionInfo]:
+        return self.functions.get((module_name, qualname))
+
+    def resolve_name(
+        self, module: ModuleInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """Resolve a bare name used in ``module`` to a project function.
+
+        Checks module-level definitions first, then the import table
+        (``from x import f``), then constructors (``ClassName`` →
+        ``ClassName.__init__``).  Returns ``None`` for anything it
+        cannot pin down statically.
+        """
+        home = self.module_of(module)
+        info = self.functions.get((home, name))
+        if info is not None:
+            return info
+        cls = self.classes.get((home, name))
+        if cls is not None:
+            return cls.methods.get("__init__")
+        imported = self._imports.get(home, {}).get(name)
+        if imported is not None:
+            source, symbol = imported
+            if symbol:
+                info = self.functions.get((source, symbol))
+                if info is not None:
+                    return info
+                ctor = self.classes.get((source, symbol))
+                if ctor is not None:
+                    return ctor.methods.get("__init__")
+        return None
+
+    def resolve_attribute(
+        self, module: ModuleInfo, chain: Tuple[str, ...]
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``alias.symbol(...)`` where ``alias`` is an imported
+        module (``import repro.ingest.formats as F; F.read_path``)."""
+        if len(chain) != 2:
+            return None
+        home = self.module_of(module)
+        imported = self._imports.get(home, {}).get(chain[0])
+        if imported is None:
+            return None
+        source, symbol = imported
+        if symbol:  # alias names a symbol, not a module
+            source = f"{source}.{symbol}"
+        return self.functions.get((source, chain[1]))
+
+    def method_in_class(
+        self, module: ModuleInfo, class_name: str, method: str
+    ) -> Optional[FunctionInfo]:
+        cls = self.classes.get((self.module_of(module), class_name))
+        if cls is None:
+            return None
+        return cls.methods.get(method)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for _, info in sorted(
+            self.functions.items(), key=lambda item: item[0]
+        ):
+            yield info

@@ -13,6 +13,10 @@ from .bitwidth import BitWidthRule
 from .picklability import PicklabilityRule
 from .parity import StreamColumnsParityRule
 from .batch_contract import BatchContractRule
+from .await_atomicity import AwaitAtomicityRule
+from .bitwidth_flow import BitWidthFlowRule
+from .numpy_overflow import NumpyOverflowRule
+from .error_hygiene import ErrorHygieneRule
 
 __all__ = [
     "ResetCompletenessRule",
@@ -21,4 +25,8 @@ __all__ = [
     "PicklabilityRule",
     "StreamColumnsParityRule",
     "BatchContractRule",
+    "AwaitAtomicityRule",
+    "BitWidthFlowRule",
+    "NumpyOverflowRule",
+    "ErrorHygieneRule",
 ]

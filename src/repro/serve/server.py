@@ -469,6 +469,10 @@ class PredictionServer:
             return
         self._session_counter += 1
         session_id = f"s{self._session_counter}"
+        # Reserve the session slot *before* awaiting: the admission
+        # check above is stale after any suspension, and incrementing
+        # post-await let concurrent opens overshoot max_sessions.
+        self._sessions_active += 1
         try:
             if self._shards is not None:
                 await self._shards.open(session_id, config)
@@ -476,6 +480,7 @@ class PredictionServer:
             else:
                 connection.session = PredictorSession(config, session_id)
         except Exception as error:
+            self._sessions_active -= 1  # release the reservation
             self._send(
                 writer, protocol.error_message("config", str(error))
             )
@@ -485,7 +490,6 @@ class PredictionServer:
         connection.started_wall = run_manifest.wall_clock()
         connection.started_perf = run_manifest.perf_clock()
         connection.started_cpu = run_manifest.cpu_clock()
-        self._sessions_active += 1
         self.stats.sessions_opened += 1
         self._send(
             writer,

@@ -1,0 +1,49 @@
+"""R007 bad fixture: check-then-act across an await, and a worker
+process mutating parameter state.
+
+The async shape is the re-introduced serving-layer admission race: the
+session limit is checked, the handler suspends while the backend opens,
+and the counter is incremented against the stale check — two
+concurrent opens both pass the guard and the limit overshoots.
+"""
+
+import multiprocessing
+
+
+class RacyServer:
+    def __init__(self, limit):
+        self.limit = limit
+        self.active = 0
+        self.backend = None
+
+    async def on_open(self, session_id, config):
+        if self.active >= self.limit:  # the check
+            return "overloaded"
+        await self.backend.open(session_id, config)  # suspension
+        self.active += 1  # the act, against a stale check
+        return "opened"
+
+    async def on_close(self, session_id):
+        current = self.active
+        await self.backend.close(session_id)
+        self.active = current - 1  # same shape via a local snapshot
+        return "closed"
+
+
+def shard_worker(manager, requests, results):
+    while True:
+        item = requests.get()
+        if item is None:
+            break
+        manager.served += 1  # lost: `manager` is a pickled copy
+        results.put(item)
+
+
+def start_worker(manager):
+    requests = multiprocessing.Queue()
+    results = multiprocessing.Queue()
+    process = multiprocessing.Process(
+        target=shard_worker, args=(manager, requests, results)
+    )
+    process.start()
+    return process, requests, results

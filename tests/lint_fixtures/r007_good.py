@@ -1,0 +1,54 @@
+"""R007 good fixture: reserve-before-await with compensation, and a
+worker process that communicates through queues only.
+
+The async shape is the sanctioned fix for the admission race: the slot
+is taken *before* the handler suspends (check and act are adjacent, no
+interleaving window), and the reservation is rolled back in the except
+path of the awaiting ``try`` — which R007 recognises as compensation,
+not as a new race.
+"""
+
+import multiprocessing
+
+
+class ReservingServer:
+    def __init__(self, limit):
+        self.limit = limit
+        self.active = 0
+        self.backend = None
+
+    async def on_open(self, session_id, config):
+        if self.active >= self.limit:
+            return "overloaded"
+        self.active += 1  # reserve before suspending
+        try:
+            await self.backend.open(session_id, config)
+        except Exception:
+            self.active -= 1  # compensation: release the reservation
+            return "error"
+        return "opened"
+
+    async def on_close(self, session_id):
+        self.active -= 1  # release first; close cannot readmit anyone
+        await self.backend.close(session_id)
+        return "closed"
+
+
+def shard_worker(requests, results):
+    served = 0
+    while True:
+        item = requests.get()
+        if item is None:
+            break
+        served += 1  # process-local tally, shipped via the queue
+        results.put((item, served))
+
+
+def start_worker():
+    requests = multiprocessing.Queue()
+    results = multiprocessing.Queue()
+    process = multiprocessing.Process(
+        target=shard_worker, args=(requests, results)
+    )
+    process.start()
+    return process, requests, results

@@ -1,0 +1,29 @@
+"""R008 bad fixture: address arithmetic laundered through renames.
+
+Every shape here is invisible to R003's statement-level name filter —
+the statements doing the unmasked arithmetic mention only neutral
+names (``cursor``, ``probe``, ``mixed``).  R008 must follow the taint
+from the address-named source through the assignments (and through the
+``passthrough`` helper's return value) to the unmasked operation.
+"""
+
+
+def passthrough(base):
+    # Returns its address argument unmasked: call sites inherit taint.
+    return base
+
+
+class LaunderingPredictor:
+    def __init__(self, table_bits):
+        self.table_bits = table_bits
+        self.base = 0
+
+    def lookup(self, addr, step):
+        cursor = addr  # taint flows through the rename
+        probe = cursor + step  # unmasked add on a laundered address
+        return probe
+
+    def advance(self, step):
+        mixed = passthrough(self.base)  # taint through the call
+        mixed += step  # unmasked augmented add
+        return mixed

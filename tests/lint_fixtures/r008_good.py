@@ -1,0 +1,44 @@
+"""R008 good fixture: the same dataflow shapes, masked where it counts.
+
+Renames and helper calls still carry the taint — but every arithmetic
+step lands under a masking ``&`` (or inside a masking helper), and a
+helper that masks its own return value does not taint its call sites.
+One-hot masks built by shifting a *constant* by a bounded index
+(``1 << pattern``) are lookup geometry, not field growth, and stay
+silent too.
+"""
+
+MASK32 = (1 << 32) - 1
+
+
+def fold_xor(value, width):
+    folded = 0
+    mask = (1 << width) - 1
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded
+
+
+def masked_passthrough(base):
+    return base & MASK32  # masked at the return: callers stay clean
+
+
+class MaskingPredictor:
+    def __init__(self, table_bits):
+        self.table_bits = table_bits
+        self.base = 0
+
+    def lookup(self, addr, step):
+        cursor = addr
+        probe = (cursor + step) & MASK32  # masked at the operation
+        return probe
+
+    def advance(self, step):
+        mixed = masked_passthrough(self.base)
+        mixed = (mixed + step) & MASK32
+        return mixed
+
+    def classify(self, ghr):
+        pattern = ghr & ((1 << self.table_bits) - 1)
+        return 1 << pattern  # one-hot from a bounded index: geometry

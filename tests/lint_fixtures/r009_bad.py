@@ -1,0 +1,37 @@
+"""R009 bad fixture: the frozen pre-fix ``fold_xor_array`` and a
+provable int64 width overflow.
+
+``fold_xor_array`` below is the historical kernel bug verbatim: the
+fold loop right-shifts ``remaining`` until it reaches zero, but
+``remaining`` starts as a bare copy of the int64 input.  Any value at
+or above ``2**63`` arrives negative, arithmetic ``>>`` converges to
+``-1`` instead of ``0``, and the loop never terminates.
+
+``mix_tags`` multiplies two 40-bit fields: the product needs up to 80
+value bits, more than the 63 an int64 holds, and nothing masks it
+before the widening happens.
+"""
+
+import numpy as np
+
+
+def fold_xor_array(values, width):
+    if width <= 0:
+        return np.zeros_like(values)
+    mask = np.int64((1 << width) - 1)
+    folded = np.zeros_like(values)
+    remaining = values.copy()  # sign bit survives: negative inputs spin
+    while True:
+        live = remaining != 0
+        if not live.any():
+            break
+        folded[live] ^= remaining[live] & mask
+        remaining[live] >>= width
+    return folded
+
+
+def mix_tags(tags, salts):
+    lo_tags = tags & ((1 << 40) - 1)
+    lo_salts = salts & ((1 << 40) - 1)
+    mixed = lo_tags * lo_salts  # up to 80 value bits in an int64
+    return mixed

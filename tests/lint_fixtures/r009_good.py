@@ -1,0 +1,32 @@
+"""R009 good fixture: the fixed fold kernel and width-bounded mixing.
+
+``fold_xor_array`` drops the sign bit at entry — ``remaining`` is
+proven non-negative, so the shift loop provably reaches zero for any
+int64 input (and the mask is the identity on canonical addresses).
+``mix_tags`` narrows its fields so the widest provable intermediate
+fits the 63 value bits of a signed int64.
+"""
+
+import numpy as np
+
+
+def fold_xor_array(values, width):
+    if width <= 0:
+        return np.zeros_like(values)
+    mask = np.int64((1 << width) - 1)
+    folded = np.zeros_like(values)
+    remaining = values & np.int64((1 << 63) - 1)  # sign bit dropped
+    while True:
+        live = remaining != 0
+        if not live.any():
+            break
+        folded[live] ^= remaining[live] & mask
+        remaining[live] >>= width
+    return folded
+
+
+def mix_tags(tags, salts):
+    lo_tags = tags & ((1 << 31) - 1)
+    lo_salts = salts & ((1 << 31) - 1)
+    mixed = lo_tags + lo_salts  # at most 32 value bits: safely in range
+    return mixed

@@ -1,0 +1,38 @@
+"""R010 good fixture: pinned wording, guarded raisers, literal exits.
+
+The raise's literal fragment is contract text the conformance corpus
+already pins; every handler call that can raise an ingest error sits
+under a ``try`` catching the family; and handlers return only the
+documented literal exit codes 0/1/2.
+"""
+
+
+class FormatError(Exception):
+    pass
+
+
+class RegistryError(Exception):
+    pass
+
+
+def _parse(path):
+    raise FormatError(f"{path}: no records found")
+
+
+def _cmd_convert(args):
+    try:
+        records = _parse(args.path)
+    except (FormatError, RegistryError) as error:
+        print(error)
+        return 2
+    print(len(records))
+    return 0
+
+
+def _cmd_validate(args):
+    try:
+        _parse(args.path)
+    except FormatError as error:
+        print(error)
+        return 1
+    return 0

@@ -197,7 +197,10 @@ def test_pincsv_writer_rejects_fetch_records():
     _, records = read_path(GOLDEN / "stride.trc", "dramsim")
     with pytest.raises(FormatError) as excinfo:
         get_format("pincsv").write(records)
-    assert "no CSV representation" in str(excinfo.value)
+    # Pins the full contract wording (R010 checks this fragment).
+    assert "has no CSV representation (loads and stores only)" in str(
+        excinfo.value
+    )
 
 
 def test_format_registry_is_stable():

@@ -342,6 +342,18 @@ class TestSegops:
         for v, f in zip(values.tolist(), out.tolist()):
             assert f == fold_xor(v, width)
 
+    def test_fold_xor_array_terminates_on_negative_int64(self):
+        """Regression: an un-canonicalised address at or above ``2**63``
+        arrives as a *negative* int64, and the fold loop's arithmetic
+        ``>>`` converged to ``-1`` instead of ``0`` — it never
+        terminated.  The kernel now drops the sign bit at entry, which
+        is the identity on canonical (63-bit) addresses."""
+        values = np.array([-1, -(2**62), 2**63 - 1, 0], dtype=np.int64)
+        out = fold_xor_array(values, 8)
+        canonical = values.astype(np.int64) & np.int64((1 << 63) - 1)
+        for v, f in zip(canonical.tolist(), out.tolist()):
+            assert f == fold_xor(v, 8)
+
 
 # ---------------------------------------------------------------------------
 # Backend resolution and dispatch gates.

@@ -44,6 +44,11 @@ FIXTURE_PATHS = {
     "R004": "src/repro/eval/fixture.py",
     "R005": "src/repro/eval/fixture.py",
     "R006": "src/repro/predictors/fixture.py",
+    "R007": "src/repro/serve/fixture.py",
+    "R008": "src/repro/predictors/fixture.py",
+    "R009": "src/repro/kernels/fixture.py",
+    # The exit-code checks only run on modules named like a CLI.
+    "R010": "src/repro/ingest/fixture_cli.py",
 }
 
 
@@ -104,6 +109,45 @@ class TestFixturePairs:
         assert "update_batch" in by_symbol["PlanWithoutCommit"]
         assert "predict_batch" in by_symbol["CommitWithoutPlan"]
         assert "supports_batch" in by_symbol["UndeclaredKernels"]
+
+    def test_r007_reports_race_and_process_shapes(self):
+        findings = _lint_fixture("R007", "bad")
+        messages = " ".join(f.message for f in findings)
+        assert "self.active" in messages
+        assert "worker-process" in messages
+        race = next(f for f in findings if "self.active" in f.message)
+        # The def->use trace walks read -> suspension(s) -> write.
+        notes = " ".join(step.note for step in race.trace)
+        assert "suspension point" in notes
+
+    def test_r008_follows_taint_through_rename_and_call(self):
+        findings = _lint_fixture("R008", "bad")
+        messages = [f.message for f in findings]
+        assert any("cursor + step" in m for m in messages)
+        assert any("'mixed'" in m for m in messages)
+        # The flagged statements mention no address-like name: R003's
+        # syntactic filter cannot see them, only the dataflow can.
+        assert all(f.trace for f in findings)
+
+    def test_r009_reports_shift_loop_and_width_overflow(self):
+        findings = _lint_fixture("R009", "bad")
+        messages = " ".join(f.message for f in findings)
+        assert "never terminates" in messages
+        assert "80 value bits" in messages
+        loop = next(f for f in findings if "right-shift loop" in f.message)
+        # The trace walks the unbounded definition down to the shift.
+        assert any(
+            "without a non-negative bound" in step.note for step in loop.trace
+        )
+        assert "'>>='" in loop.trace[-1].note
+
+    def test_r010_reports_each_contract_erosion(self):
+        findings = _lint_fixture("R010", "bad")
+        messages = " ".join(f.message for f in findings)
+        assert "fully dynamic" in messages
+        assert "not pinned" in messages
+        assert "literal exit code 0/1/2" in messages
+        assert "exit code 2" in messages  # the escape check
 
 
 #: The PR 3 bug, reconstructed: reset() forgets the embedded branch
@@ -214,9 +258,10 @@ class TestSuppressions:
 
 
 class TestFrameworkPlumbing:
-    def test_all_six_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert sorted(all_rules()) == [
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005",
+            "R006", "R007", "R008", "R009", "R010",
         ]
 
     def test_unknown_rule_id_raises(self):

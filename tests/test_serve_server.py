@@ -198,6 +198,53 @@ class TestRoundTrip:
 
         asyncio.run(scenario())
 
+    def test_concurrent_opens_cannot_overshoot_session_limit(self):
+        """Regression: the admission check used to be re-read *after*
+        the backend ``await``, so two opens racing through the
+        suspension both passed a ``max_sessions=1`` guard.  The slot is
+        now reserved before the handler suspends."""
+
+        class _SlowOpenShards:
+            def __init__(self):
+                self.entered = asyncio.Event()
+                self.gate = asyncio.Event()
+
+            async def open(self, session_id, config):
+                self.entered.set()
+                await self.gate.wait()
+
+            def shard_of(self, session_id):
+                return 0
+
+            async def discard(self, session_id):
+                pass
+
+            async def close(self):
+                self.gate.set()
+
+        async def scenario():
+            server = await _start(ServeConfig(port=0, max_sessions=1))
+            shards = _SlowOpenShards()
+            server._shards = shards
+            first = await _Client(server.port).connect()
+            second = await _Client(server.port).connect()
+            await first.send(_open_msg())
+            # Park the first open inside the backend await, holding
+            # its reservation across the suspension.
+            await asyncio.wait_for(shards.entered.wait(), 10)
+            reply = await second.rpc(_open_msg())
+            assert reply["type"] == "error"
+            assert reply["code"] == "overloaded"
+            shards.gate.set()
+            opened = await first.recv()
+            assert opened["type"] == "opened"
+            assert server._sessions_active == 1
+            await first.close()
+            await second.close()
+            await server.shutdown()
+
+        asyncio.run(scenario())
+
 
 class TestProtocolHostility:
     def test_oversized_frame_counts_protocol_error(self):
