@@ -44,6 +44,7 @@ from repro.verify.fuzz import generate_events  # noqa: E402
 
 SLO_SCHEMA_PATH = SRC / "repro" / "telemetry" / "slo_report.schema.json"
 READY_PREFIX = "repro-serve listening on "
+ADMIN_READY_PREFIX = "repro-serve admin on "
 
 #: Per-process memo of replayed trace streams (one .npz read per run).
 _TRACE_EVENTS: Dict[str, List[tuple]] = {}
@@ -166,6 +167,7 @@ async def run_session(
             "type": "open",
             "factory": args.factory,
             "variant": f"loadgen-{session_index}",
+            "trace": f"lg{args.seed}-{session_index}",
         }))
         if opened.get("type") != "opened":
             outcome.errors += 1
@@ -325,8 +327,14 @@ def _fmt_ms(value: Optional[float]) -> str:
     return f"{value:.1f}ms" if value is not None else "n/a"
 
 
-def spawn_server(args: argparse.Namespace) -> Tuple[subprocess.Popen, int]:
-    """Start a private server subprocess; returns (process, bound port)."""
+def spawn_server(
+    args: argparse.Namespace,
+) -> Tuple[subprocess.Popen, int, Optional[int]]:
+    """Start a private server subprocess.
+
+    Returns (process, data port, admin port) — the admin port is None
+    unless ``--admin`` asked for the observability endpoint.
+    """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     command = [
@@ -335,10 +343,14 @@ def spawn_server(args: argparse.Namespace) -> Tuple[subprocess.Popen, int]:
         "--shards", str(args.shards),
         "--queue-depth", str(args.queue_depth),
     ]
+    if args.admin:
+        command += ["--admin-port", "0"]
     if args.backend:
         command += ["--backend", args.backend]
     if args.telemetry_dir:
         command += ["--telemetry", "--telemetry-dir", args.telemetry_dir]
+    if args.flight_dir:
+        command += ["--flight-dir", args.flight_dir]
     process = subprocess.Popen(
         command, cwd=REPO_ROOT, env=env,
         stdout=subprocess.PIPE, text=True,
@@ -349,7 +361,100 @@ def spawn_server(args: argparse.Namespace) -> Tuple[subprocess.Popen, int]:
         process.kill()
         raise RuntimeError(f"server did not come up (got {line!r})")
     port = int(line.rsplit(":", 1)[1])
-    return process, port
+    admin_port: Optional[int] = None
+    if args.admin:
+        line = process.stdout.readline()
+        if not line.startswith(ADMIN_READY_PREFIX):
+            process.kill()
+            raise RuntimeError(f"no admin ready line (got {line!r})")
+        admin_port = int(line.rsplit(":", 1)[1])
+    return process, port, admin_port
+
+
+def collect_server_obs(
+    args: argparse.Namespace, admin_port: int
+) -> Optional[Dict[str, Any]]:
+    """Scrape the admin endpoint into the report's ``server_obs`` section.
+
+    Joins the client-side percentiles with the server's own queue-wait
+    histogram (how long feeds sat in the batching queue before running),
+    and optionally exports the span buffer as a Chrome trace-event file
+    whose ``trace`` args carry the loadgen-minted ``lg<seed>-<n>`` IDs.
+    """
+    from repro.obs.admin import fetch_admin
+    from repro.obs.metrics import histogram_percentile
+    from repro.obs.tracing import validate_trace_export
+
+    try:
+        answer = fetch_admin(args.host, admin_port, "metrics")
+    except (ConnectionError, OSError, protocol.ProtocolError) as exc:
+        print(f"admin scrape failed: {exc}", file=sys.stderr)
+        return None
+    snapshot = answer.get("metrics") or {}
+    histograms = snapshot.get("histograms") or {}
+    counters = snapshot.get("counters") or {}
+
+    wait = histograms.get("serve.queue.wait_s")
+    queue_wait_ms: Dict[str, Any] = {
+        "count": 0, "mean": None, "p50": None, "p95": None, "p99": None,
+    }
+    if wait and wait.get("count"):
+        count = int(wait["count"])
+        queue_wait_ms = {
+            "count": count,
+            "mean": float(wait["sum"]) / count * 1000.0,
+        }
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            edge = histogram_percentile(wait, q)
+            queue_wait_ms[name] = None if edge is None else edge * 1000.0
+
+    occupancy = histograms.get("serve.batch.occupancy")
+    occupancy_mean = None
+    if occupancy and occupancy.get("count"):
+        occupancy_mean = (
+            float(occupancy["sum"]) / int(occupancy["count"])
+        )
+
+    errors = {
+        name[len("serve.errors."):]: int(value)
+        for name, value in counters.items()
+        if name.startswith("serve.errors.")
+    }
+
+    spans_exported: Optional[int] = None
+    if args.trace_export:
+        try:
+            spans = fetch_admin(args.host, admin_port, "spans")
+        except (ConnectionError, OSError, protocol.ProtocolError) as exc:
+            print(f"span export failed: {exc}", file=sys.stderr)
+        else:
+            document = {
+                "displayTimeUnit": spans.get("displayTimeUnit") or "ms",
+                "traceEvents": spans.get("traceEvents") or [],
+            }
+            problems = validate_trace_export(document)
+            if problems:
+                for problem in problems:
+                    print(f"trace schema: {problem}", file=sys.stderr)
+            else:
+                Path(args.trace_export).write_text(
+                    json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+                spans_exported = len(document["traceEvents"])
+                print(f"wrote {args.trace_export}"
+                      f" ({spans_exported} spans)")
+
+    return {
+        "admin_port": admin_port,
+        "queue_wait_ms": queue_wait_ms,
+        "batch_occupancy_mean": occupancy_mean,
+        "sessions_dropped": int(
+            counters.get("serve.sessions.dropped") or 0
+        ),
+        "errors": errors,
+        "spans_exported": spans_exported,
+    }
 
 
 def drain_server(process: subprocess.Popen) -> str:
@@ -381,6 +486,16 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
                         help="backend for the spawned server")
     target.add_argument("--telemetry-dir", default=None, metavar="DIR",
                         help="enable serve manifests in the spawned server")
+    target.add_argument("--admin", action="store_true",
+                        help="give the spawned server an admin endpoint"
+                             " and scrape it into the report")
+    target.add_argument("--admin-port", type=int, default=None,
+                        metavar="PORT",
+                        help="admin endpoint of an already-running server"
+                             " (implied by --spawn --admin)")
+    target.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="flight-recorder postmortem directory for the"
+                             " spawned server")
 
     workload = parser.add_argument_group("workload")
     workload.add_argument("--profile", default="mixed",
@@ -407,6 +522,12 @@ def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
     out.add_argument("--require-zero-drops", action="store_true",
                      help="exit 1 unless the server reports zero dropped"
                           " sessions and the run saw zero errors")
+    out.add_argument("--trace-export", metavar="FILE", default=None,
+                     help="write the server's span buffer here as Chrome"
+                          " trace-event JSON (needs the admin endpoint)")
+    out.add_argument("--require-server-obs", action="store_true",
+                     help="exit 1 unless the admin scrape succeeded and"
+                          " the server observed queue waits")
     args = parser.parse_args(argv)
     args.ramp_steps = [
         int(part) for part in str(args.ramp).split(",") if part.strip()
@@ -420,11 +541,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parse_args(argv)
     process: Optional[subprocess.Popen] = None
     port = args.port
+    admin_port = args.admin_port
     if args.spawn:
-        process, port = spawn_server(args)
-        print(f"spawned server pid={process.pid} port={port}", flush=True)
+        process, port, spawned_admin = spawn_server(args)
+        if spawned_admin is not None:
+            admin_port = spawned_admin
+        print(f"spawned server pid={process.pid} port={port}"
+              + (f" admin={admin_port}" if admin_port else ""),
+              flush=True)
     try:
         report = asyncio.run(run_ramp(args, port))
+        report["server_obs"] = (
+            collect_server_obs(args, admin_port)
+            if admin_port is not None else None
+        )
     finally:
         if process is not None:
             drain_line = drain_server(process)
@@ -446,6 +576,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f" errors={totals['errors']}"
         f" dropped={totals['dropped_sessions']}"
     )
+    server_obs = report.get("server_obs")
+    if server_obs:
+        wait = server_obs["queue_wait_ms"]
+        print(
+            f"server: queue-wait p50={_fmt_ms(wait['p50'])}"
+            f" p95={_fmt_ms(wait['p95'])} p99={_fmt_ms(wait['p99'])}"
+            f" (n={wait['count']})"
+            f" dropped={server_obs['sessions_dropped']}"
+        )
     if args.output:
         Path(args.output).write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n",
@@ -464,6 +603,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f" errors={totals['errors']}",
                 file=sys.stderr,
             )
+            return 1
+    if args.require_server_obs:
+        if not server_obs or not server_obs["queue_wait_ms"]["count"]:
+            print("server obs gate failed: no admin scrape or empty"
+                  " queue-wait histogram", file=sys.stderr)
+            return 1
+        if args.trace_export and not server_obs["spans_exported"]:
+            print("server obs gate failed: empty or invalid trace export",
+                  file=sys.stderr)
             return 1
     return 0
 

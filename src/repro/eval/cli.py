@@ -20,9 +20,13 @@ Usage (via ``python -m repro``)::
     python -m repro stats validate telemetry/    # schema-check manifests
     python -m repro stats bench --gate 15        # fig5 wall-clock history
     python -m repro stats slo slo_report.json    # render a serving SLO report
+    python -m repro stats tail 127.0.0.1:9100    # follow a live admin endpoint
+    python -m repro stats tail telemetry/ --once # digest manifests/postmortems
+    python -m repro stats spans spans.json       # summarise a span export
     python -m repro run fig5 --full --backend python   # force scalar path
     python -m repro serve --port 8377            # prediction-as-a-service
     python -m repro serve --shards 2 --telemetry # sharded, with manifests
+    python -m repro serve --admin-port 0 --flight-dir flight/  # observable
     python -m repro ingest convert t.trc t.npz   # external trace -> Trace
     python -m repro ingest validate              # check the trace registry
     python -m repro run fig5 --traces ext_quick  # registry set in a figure
@@ -332,6 +336,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             return 2
         print(S.render_slo_report(args.file))
         return 0
+    if mode == "tail":
+        from ..obs.report import tail as obs_tail
+
+        return obs_tail(
+            args.target, interval_s=args.interval, once=args.once
+        )
+    if mode == "spans":
+        from ..obs.report import spans_report
+
+        return spans_report(args.file)
     if mode == "bench":
         problems = S.check_bench_file(args.file)
         if problems:
@@ -368,6 +382,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         session_timeout_s=args.timeout,
         shards=args.shards,
+        admin_port=args.admin_port,
+        flight_dir=args.flight_dir,
     )
     try:
         asyncio.run(serve(config))
@@ -555,6 +571,30 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SLO report JSON written by the load generator")
     slo.set_defaults(func=_cmd_stats)
 
+    tail_cmd = stats_sub.add_parser(
+        "tail",
+        help="follow a live admin endpoint (host:port) or a"
+             " manifest/postmortem directory",
+    )
+    tail_cmd.add_argument("target", metavar="TARGET",
+                          help="host:port of a serve --admin-port"
+                               " endpoint, or a telemetry/flight"
+                               " directory")
+    tail_cmd.add_argument("--interval", type=float, default=2.0,
+                          metavar="SEC", help="poll interval")
+    tail_cmd.add_argument("--once", action="store_true",
+                          help="print one snapshot and exit (CI mode)")
+    tail_cmd.set_defaults(func=_cmd_stats)
+
+    spans_cmd = stats_sub.add_parser(
+        "spans",
+        help="validate and summarise a Chrome trace-event export"
+             " (admin 'spans' answer or loadgen --trace-export)",
+    )
+    spans_cmd.add_argument("file", metavar="FILE",
+                           help="trace-event JSON document")
+    spans_cmd.set_defaults(func=_cmd_stats)
+
     serve_cmd = sub.add_parser(
         "serve",
         help="prediction-as-a-service: asyncio server over sessions",
@@ -580,6 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write kind=serve run manifests per session")
     serve_cmd.add_argument("--telemetry-dir", default=None, metavar="DIR",
                            help="manifest output directory")
+    serve_cmd.add_argument("--admin-port", type=int, default=None,
+                           metavar="PORT",
+                           help="observability admin endpoint port"
+                                " (0 = ephemeral; omitted = no admin"
+                                " listener)")
+    serve_cmd.add_argument("--flight-dir", default=None, metavar="DIR",
+                           help="flight-recorder postmortem directory"
+                                " (omitted = rings stay in memory only)")
     serve_cmd.set_defaults(func=_cmd_serve)
 
     lint = sub.add_parser(

@@ -138,6 +138,9 @@ class Job:
     machine: Optional[MachineConfig] = None
     variant: str = ""
     instrument: bool = False
+    #: Observability trace id riding along with the spec (excluded from
+    #: the config hash: tracing a job must not change its identity).
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -155,6 +158,9 @@ class JobResult:
     #: Which evaluation backend actually ran ("python" / "numpy"); None
     #: for job kinds that never enter the prediction loop.
     backend: Optional[str] = None
+    #: Execution wall time measured in the worker; lets the submitting
+    #: process split pool latency into queue-wait vs run wall.
+    wall_s: Optional[float] = None
 
 
 # Tiny per-process memo for traces and stream columns: drivers emit jobs
@@ -350,9 +356,18 @@ def _build_manifest(
     }
     if ingest is not None:
         trace_record["ingest"] = ingest
+    from dataclasses import asdict
+
+    from ..obs.metrics import global_registry
+
+    # trace_id is observability metadata, not configuration: hash the
+    # spec without it so traced and untraced runs of the same job agree.
+    hashable = {
+        k: v for k, v in asdict(job).items() if k != "trace_id"
+    }
     return {
         "schema": run_manifest.MANIFEST_SCHEMA_ID,
-        "config_hash": run_manifest.config_hash(job),
+        "config_hash": run_manifest.config_hash(hashable),
         "job": {
             "trace": job.trace,
             "factory": job.factory,
@@ -380,6 +395,11 @@ def _build_manifest(
         "metrics": metrics_record,
         "cycles": result.cycles,
         "divergence": result.divergence,
+        "obs": {
+            "trace_id": job.trace_id,
+            "flight_recorder": None,
+            "metrics": global_registry().snapshot(),
+        },
         "attribution": probe.as_dict() if probe is not None else None,
         "profile": aux.get("profile"),
     }
@@ -394,8 +414,16 @@ def execute_job(job: Job) -> JobResult:
     worker processes just as in serial runs, since the flag travels
     through the inherited environment.
     """
+    from ..obs.metrics import global_registry
+
+    registry = global_registry()
     if not run_manifest.enabled():
-        return _execute(job, {})
+        started_perf = run_manifest.perf_clock()
+        result = _execute(job, {})
+        result.wall_s = run_manifest.perf_clock() - started_perf
+        registry.counter("engine.jobs").inc()
+        registry.histogram("engine.job.run_s").observe(result.wall_s)
+        return result
     label = job.variant or job.factory or job.kind
     started_wall = run_manifest.wall_clock()
     started_perf = run_manifest.perf_clock()
@@ -407,6 +435,9 @@ def execute_job(job: Job) -> JobResult:
     result = _execute(job, aux)
     wall_s = run_manifest.perf_clock() - started_perf
     cpu_s = run_manifest.cpu_clock() - started_cpu
+    result.wall_s = wall_s
+    registry.counter("engine.jobs").inc()
+    registry.histogram("engine.job.run_s").observe(wall_s)
     manifest = _build_manifest(job, result, aux, started_wall, wall_s, cpu_s)
     path = run_manifest.write_manifest(manifest)
     run_manifest.heartbeat(
@@ -432,23 +463,48 @@ def run_jobs(
     results are stitched back by submission index, so the output is
     independent of worker scheduling.
     """
+    from ..obs.metrics import global_registry
+
     job_list: Sequence[Job] = list(jobs)
     workers = resolve_jobs(max_workers)
     if workers == 1 or len(job_list) < 2:
         return [execute_job(job) for job in job_list]
+    registry = global_registry()
+    queue_wait = registry.histogram("engine.job.queue_wait_s")
     results: List[Optional[JobResult]] = [None] * len(job_list)
     telemetry_on = run_manifest.enabled()
     completed = 0
-    with ProcessPoolExecutor(max_workers=min(workers, len(job_list))) as pool:
+    pool_workers = min(workers, len(job_list))
+    busy_s = 0.0
+    submitted = run_manifest.perf_clock()
+    with ProcessPoolExecutor(max_workers=pool_workers) as pool:
         futures = {
             pool.submit(execute_job, job): index
             for index, job in enumerate(job_list)
         }
         for future in as_completed(futures):
-            results[futures[future]] = future.result()
+            result = future.result()
+            results[futures[future]] = result
+            # Pool latency splits into queue-wait (time the job spent
+            # waiting for a worker slot) and the run wall the worker
+            # measured; both travel into the metrics registry.
+            done = run_manifest.perf_clock()
+            wall_s = result.wall_s or 0.0
+            busy_s += wall_s
+            queue_wait.observe(max(0.0, done - submitted - wall_s))
             if telemetry_on:
                 completed += 1
                 run_manifest.heartbeat(
                     f"progress {completed}/{len(job_list)} jobs complete"
                 )
+    span_s = run_manifest.perf_clock() - submitted
+    if span_s > 0:
+        registry.gauge("engine.workers.utilisation").set(
+            min(1.0, busy_s / (pool_workers * span_s))
+        )
+    if telemetry_on:
+        run_manifest.heartbeat(
+            f"pool done jobs={len(job_list)} workers={pool_workers}"
+            f" span={span_s:.2f}s busy={busy_s:.2f}s"
+        )
     return results  # type: ignore[return-value]

@@ -33,6 +33,7 @@ from .api import (
     BatchFallback,
     BatchResult,
     available_backends,
+    record_dispatch,
     resolve_backend,
 )
 
@@ -43,6 +44,7 @@ __all__ = [
     "BatchFallback",
     "BatchResult",
     "available_backends",
+    "record_dispatch",
     "resolve_backend",
     "supports_batch",
     "try_run_batch",
@@ -89,12 +91,16 @@ def try_run_batch(
     when the caller must run the scalar loop.
     """
     if observer is not None or not supports_batch(predictor):
+        record_dispatch(predictor, "declined")
         return False
     if resolve_backend() != BACKEND_NUMPY:
+        record_dispatch(predictor, "declined")
         return False
     result = run_batch(predictor, stream, warmup_loads)
     if result is None:
+        record_dispatch(predictor, "fallback")
         return False
+    record_dispatch(predictor, "dispatched")
     fold_metrics(result, metrics, warmup_loads)
     metrics.backend = BACKEND_NUMPY
     return True

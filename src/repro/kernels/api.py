@@ -32,6 +32,7 @@ __all__ = [
     "BatchFallback",
     "BatchResult",
     "available_backends",
+    "record_dispatch",
     "resolve_backend",
 ]
 
@@ -88,6 +89,25 @@ def available_backends() -> Tuple[str, ...]:
     if importlib.util.find_spec("numpy") is not None:
         return (BACKEND_PYTHON, BACKEND_NUMPY)
     return (BACKEND_PYTHON,)
+
+
+def record_dispatch(predictor, outcome: str) -> None:
+    """Tally one dispatch decision for a predictor's kernel.
+
+    ``outcome`` is ``dispatched`` (the batch kernel ran), ``fallback``
+    (the kernel raised :class:`BatchFallback` and the scalar reference
+    ran) or ``declined`` (the dispatcher never tried: wrong backend, no
+    batch support, or a per-access observer attached).  One counter
+    increment per *run* — far off the per-event hot path — recorded in
+    the process-wide :func:`repro.obs.metrics.global_registry`, so the
+    serving admin endpoint and run manifests can report which kernels
+    actually carried the load.
+    """
+    from ..obs.metrics import global_registry
+
+    global_registry().counter(
+        f"kernels.{type(predictor).__name__}.{outcome}"
+    ).inc()
 
 
 def resolve_backend(override: Optional[str] = None) -> str:

@@ -38,7 +38,7 @@ from ..flow.cfg import CFG
 from ..flow.dataflow import AttributeEvent, attribute_events
 
 #: Packages whose async handlers share mutable state across awaits.
-SCOPED_PACKAGES = ("serve",)
+SCOPED_PACKAGES = ("serve", "obs")
 
 #: Attribute chains that are synchronisation primitives themselves, or
 #: documented single-writer structures — not check-then-act hazards.

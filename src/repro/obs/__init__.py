@@ -1,0 +1,54 @@
+"""Live observability plane: metrics, tracing, flight recording.
+
+Everything in this package *observes* the serving/engine stack and never
+feeds back into simulated state — which is why the R002 determinism rule
+allowlists ``obs/`` for wall-clock reads, and why nothing here is
+imported by a predictor or evaluation loop (only by the layers around
+them: the server, the shard manager, the engine pool, the kernel
+dispatcher).
+
+* :mod:`repro.obs.metrics` — a process-mergeable registry of counters,
+  gauges and fixed-bucket latency histograms.  Snapshots are plain JSON
+  dicts; shard workers ship theirs over the pipe and the manager merges.
+* :mod:`repro.obs.tracing` — trace/span IDs minted at the wire protocol
+  and propagated through frames, the micro-batching executor, the shard
+  hop and engine job specs; exported as Chrome trace-event JSON
+  (Perfetto-loadable), validated against a checked-in schema.
+* :mod:`repro.obs.flight` — a bounded per-session ring buffer of recent
+  events, dumped to a postmortem manifest when a session dies badly.
+* :mod:`repro.obs.admin` — the server's admin endpoint (separate port,
+  same length-prefixed protocol) serving ``metrics``/``health``/``spans``.
+* :mod:`repro.obs.report` — the ``repro stats tail`` / ``repro stats
+  spans`` backends.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    histogram_percentile,
+)
+from .tracing import (
+    TRACE_EVENT_SCHEMA_PATH,
+    Tracer,
+    mint_trace_id,
+    validate_trace_export,
+)
+from .flight import FlightRecorder, POSTMORTEM_SCHEMA_ID
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "POSTMORTEM_SCHEMA_ID",
+    "TRACE_EVENT_SCHEMA_PATH",
+    "Tracer",
+    "global_registry",
+    "histogram_percentile",
+    "mint_trace_id",
+    "validate_trace_export",
+]

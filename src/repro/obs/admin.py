@@ -1,0 +1,149 @@
+"""Admin endpoint: ``metrics`` / ``health`` / ``spans`` on a side port.
+
+The serving stack's observability surface lives on its **own** listener
+(``--admin-port``), speaking the same length-prefixed JSON frames as the
+data plane (:mod:`repro.serve.protocol`), so operators and the load
+generator scrape it with the client machinery they already have — while
+a misbehaving scraper can never occupy a data-plane session slot or a
+feed-queue entry.
+
+Three request types, all read-only (handlers never mutate shared state
+across an ``await`` — the R007 lint fixture pair under ``obs/`` pins the
+anti-pattern this avoids):
+
+* ``{"type": "health"}`` → liveness + the server's stats snapshot.
+* ``{"type": "metrics"}`` → the merged
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (manager registry
+  folded with every shard worker's, when sharded).
+* ``{"type": "spans"}`` → the tracer's Chrome trace-event export
+  (``trace_event.schema.json``).
+
+:func:`fetch_admin` is the matching blocking client, used by
+``benchmarks/loadgen.py`` to join server-side queue-wait percentiles
+into the SLO report and by ``repro stats tail`` against a live server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Awaitable, Callable, Dict, Optional
+
+__all__ = ["AdminServer", "fetch_admin"]
+
+#: Async provider of one response body.
+_Provider = Callable[[], Awaitable[Dict[str, Any]]]
+
+
+class AdminServer:
+    """The observability listener; one request/response per frame."""
+
+    def __init__(
+        self,
+        *,
+        health: _Provider,
+        metrics: _Provider,
+        spans: _Provider,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: Optional[int] = None,
+    ) -> None:
+        from ..serve import protocol
+
+        self._providers: Dict[str, _Provider] = {
+            "health": health,
+            "metrics": metrics,
+            "spans": spans,
+        }
+        self.host = host
+        self._requested_port = port
+        self.max_frame = max_frame or protocol.MAX_FRAME
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None and self._server.sockets
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def close(self) -> None:
+        # Take the listener before the first await so a concurrent close
+        # (or restart) never double-closes a stale snapshot.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from ..serve import protocol
+        from ..serve.protocol import FrameReader, ProtocolError
+
+        frames = FrameReader(self.max_frame)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                for kind, payload in frames.push(data):
+                    if kind != protocol.KIND_JSON:
+                        raise ProtocolError(
+                            f"admin endpoint only speaks JSON frames,"
+                            f" got kind {kind}"
+                        )
+                    message = protocol.decode_json(payload)
+                    mtype = message.get("type")
+                    provider = self._providers.get(str(mtype))
+                    if provider is None:
+                        writer.write(protocol.encode_json(
+                            protocol.error_message(
+                                "admin", f"unknown admin request {mtype!r}"
+                            )
+                        ))
+                    else:
+                        body = await provider()
+                        writer.write(protocol.encode_json(
+                            {"type": str(mtype), **body}
+                        ))
+                await writer.drain()
+        except (ProtocolError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def fetch_admin(
+    host: str,
+    port: int,
+    request: str,
+    timeout_s: float = 5.0,
+) -> Dict[str, Any]:
+    """Blocking one-shot admin request (loadgen / ``stats tail`` client)."""
+    from ..serve import protocol
+    from ..serve.protocol import FrameReader, ProtocolError
+
+    with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        sock.sendall(protocol.encode_json({"type": request}))
+        frames = FrameReader()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                raise ProtocolError(
+                    f"admin endpoint closed before answering {request!r}"
+                )
+            for kind, payload in frames.push(data):
+                if kind != protocol.KIND_JSON:
+                    raise ProtocolError(
+                        f"unexpected admin frame kind {kind}"
+                    )
+                return protocol.decode_json(payload)

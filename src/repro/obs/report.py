@@ -1,0 +1,228 @@
+"""Reporting backends for ``repro stats tail`` and ``repro stats spans``.
+
+``tail`` follows either side of the observability plane:
+
+* ``host:port`` — poll a live server's admin endpoint and render its
+  merged metrics snapshot (counters, occupancy gauges, queue-wait
+  percentiles) every interval.
+* a directory — watch a telemetry/flight-recorder directory and print a
+  one-line digest for every run manifest and postmortem as it appears
+  (``--once`` reports the current contents and exits, which is what CI
+  uses).
+
+``spans`` loads a Chrome trace-event export (the admin endpoint's
+``spans`` answer, or ``loadgen --trace-export``), validates it against
+the checked-in ``trace_event.schema.json``, and summarises per span name
+and per trace id — the quick "where did the time go" view without
+opening Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import histogram_percentile
+
+__all__ = [
+    "render_metrics_snapshot",
+    "scan_directory",
+    "spans_report",
+    "summarize_spans",
+    "tail",
+]
+
+#: Output sink, injectable for tests.
+_Print = Callable[[str], None]
+
+
+def render_metrics_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """A compact human view of one registry snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<36} {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<36} {gauges[name]:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            record = histograms[name]
+            count = int(record.get("count") or 0)
+            if count == 0:
+                lines.append(f"  {name:<36} (empty)")
+                continue
+            p50 = histogram_percentile(record, 0.50)
+            p95 = histogram_percentile(record, 0.95)
+            p99 = histogram_percentile(record, 0.99)
+            mean = float(record["sum"]) / count
+            lines.append(
+                f"  {name:<36} n={count}"
+                f" mean={mean * 1e3:.3f}ms"
+                f" p50<={_ms(p50)} p95<={_ms(p95)} p99<={_ms(p99)}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:g}ms"
+
+
+def _digest_file(path: Path) -> str:
+    """One line describing a manifest or postmortem JSON file."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return f"{path.name}: unreadable ({error})"
+    schema = document.get("schema", "")
+    if str(schema).startswith("repro.postmortem"):
+        return (
+            f"postmortem {path.name}:"
+            f" session={document.get('session')}"
+            f" reason={document.get('reason')}"
+            f" events={len(document.get('events') or [])}"
+        )
+    job = document.get("job") or {}
+    run = document.get("run") or {}
+    wall = run.get("wall_s")
+    return (
+        f"manifest {path.name}:"
+        f" kind={job.get('kind')}"
+        f" trace={job.get('trace')}"
+        f" variant={job.get('variant')}"
+        f" wall_s={wall if wall is None else round(float(wall), 3)}"
+    )
+
+
+def scan_directory(
+    directory: Path, seen: Optional[set] = None
+) -> Tuple[List[str], set]:
+    """Digest lines for JSON files not in ``seen``; returns (lines, seen')."""
+    seen = set(seen or ())
+    lines: List[str] = []
+    for path in sorted(Path(directory).glob("*.json")):
+        if path.name in seen:
+            continue
+        seen.add(path.name)
+        lines.append(_digest_file(path))
+    return lines, seen
+
+
+def _parse_target(target: str) -> Tuple[str, Any]:
+    if ":" in target and not Path(target).exists():
+        host, _, port_text = target.rpartition(":")
+        try:
+            return "admin", (host or "127.0.0.1", int(port_text))
+        except ValueError:
+            pass
+    return "dir", Path(target)
+
+
+def tail(
+    target: str,
+    *,
+    interval_s: float = 2.0,
+    once: bool = False,
+    out: _Print = print,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Follow a live admin endpoint or a manifest/postmortem directory."""
+    mode, parsed = _parse_target(target)
+    if mode == "admin":
+        from .admin import fetch_admin
+
+        host, port = parsed
+        while True:
+            try:
+                answer = fetch_admin(host, port, "metrics")
+            except OSError as error:
+                out(f"admin endpoint {host}:{port} unreachable: {error}")
+                return 1
+            out(render_metrics_snapshot(answer.get("metrics") or {}))
+            if once:
+                return 0
+            out("")
+            sleep(interval_s)
+    directory = parsed
+    if not directory.is_dir():
+        out(f"{target}: not a directory and not a host:port")
+        return 2
+    lines, seen = scan_directory(directory)
+    for line in lines:
+        out(line)
+    if once:
+        if not lines:
+            out(f"(no manifests or postmortems in {directory})")
+        return 0
+    while True:
+        sleep(interval_s)
+        lines, seen = scan_directory(directory, seen)
+        for line in lines:
+            out(line)
+
+
+def summarize_spans(document: Mapping[str, Any]) -> str:
+    """Per-name and per-trace summary of a trace-event export."""
+    events = document.get("traceEvents") or []
+    by_name: Dict[str, List[float]] = {}
+    by_trace: Dict[str, int] = {}
+    for event in events:
+        by_name.setdefault(event["name"], []).append(float(event["dur"]))
+        trace = (event.get("args") or {}).get("trace")
+        if trace is not None:
+            by_trace[str(trace)] = by_trace.get(str(trace), 0) + 1
+    lines = [
+        f"spans: {len(events)} events,"
+        f" {len(by_name)} names, {len(by_trace)} trace ids"
+    ]
+    if by_name:
+        lines.append(
+            f"  {'name':<28} {'count':>6} {'total_ms':>10}"
+            f" {'mean_ms':>9} {'max_ms':>9}"
+        )
+        ranked = sorted(
+            by_name.items(), key=lambda item: -sum(item[1])
+        )
+        for name, durs in ranked:
+            total = sum(durs)
+            lines.append(
+                f"  {name:<28} {len(durs):>6}"
+                f" {total / 1e3:>10.3f}"
+                f" {total / len(durs) / 1e3:>9.3f}"
+                f" {max(durs) / 1e3:>9.3f}"
+            )
+    if by_trace:
+        busiest = sorted(by_trace.items(), key=lambda item: -item[1])[:5]
+        lines.append(
+            "  busiest traces: "
+            + ", ".join(f"{t} ({n} spans)" for t, n in busiest)
+        )
+    return "\n".join(lines)
+
+
+def spans_report(path: str, out: _Print = print) -> int:
+    """Validate + summarise one trace-event export file (CLI backend)."""
+    from .tracing import validate_trace_export
+
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        out(f"{path}: unreadable ({error})")
+        return 2
+    errors = validate_trace_export(document)
+    if errors:
+        for error in errors:
+            out(f"{path}: {error}")
+        return 2
+    out(summarize_spans(document))
+    return 0

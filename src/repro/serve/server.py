@@ -38,8 +38,12 @@ import os
 import platform
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.tracing import Tracer, mint_trace_id
 from ..telemetry import manifest as run_manifest
 from . import protocol
 from .protocol import (
@@ -76,6 +80,14 @@ class ServeConfig:
     #: Worker processes for session execution; 0 = in-process.
     shards: int = 0
     max_frame: int = protocol.MAX_FRAME
+    #: Admin (observability) endpoint port: ``None`` = no admin listener,
+    #: ``0`` = ephemeral (the bound port is printed on its ready line).
+    admin_port: Optional[int] = None
+    #: Flight-recorder postmortem directory; ``None`` keeps the per-session
+    #: rings in memory only (no postmortems written on bad session ends).
+    flight_dir: Optional[str] = None
+    #: Completed-span ring capacity of the server's tracer.
+    trace_capacity: int = 4096
 
 
 @dataclass
@@ -132,6 +144,8 @@ def session_manifest(
     wall_s: float,
     cpu_s: float,
     backend: str,
+    trace_id: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One ``kind="serve"`` run manifest (``run_manifest.schema.json``)."""
     attribution = None
@@ -175,6 +189,11 @@ def session_manifest(
         "divergence": None,
         "attribution": attribution,
         "profile": None,
+        "obs": {
+            "trace_id": trace_id,
+            "flight_recorder": flight_dir,
+            "metrics": None,
+        },
     }
 
 
@@ -183,6 +202,8 @@ def write_session_manifest(
     started_wall: float,
     started_perf: float,
     started_cpu: float,
+    trace_id: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> None:
     """Write a finished session's manifest when telemetry is enabled."""
     if not run_manifest.enabled():
@@ -195,6 +216,8 @@ def write_session_manifest(
         wall_s=run_manifest.perf_clock() - started_perf,
         cpu_s=run_manifest.cpu_clock() - started_cpu,
         backend=session.backend,
+        trace_id=trace_id,
+        flight_dir=flight_dir,
     )
     run_manifest.write_manifest(manifest)
 
@@ -209,13 +232,17 @@ class _Connection:
     #: Sharded sessions live in a worker; only the id is held here.
     sharded: bool = False
     finished: bool = False
+    #: Trace id for the session's spans (client-supplied or minted).
+    trace_id: str = ""
     started_wall: float = 0.0
     started_perf: float = 0.0
     started_cpu: float = 0.0
 
 
-#: One queued feed: (connection, events, response future).
-_FeedItem = Tuple[_Connection, List[tuple], "asyncio.Future[List[tuple]]"]
+#: One queued feed: (connection, events, response future, enqueue stamp).
+_FeedItem = Tuple[
+    _Connection, List[tuple], "asyncio.Future[List[tuple]]", float
+]
 
 
 class PredictionServer:
@@ -237,6 +264,25 @@ class PredictionServer:
         self._worker_task: Optional["asyncio.Task[None]"] = None
         self._draining = False
         self._closed = asyncio.Event()
+        # Observability plane: registry + tracer + flight recorder.  All
+        # hooks fire per feed/batch/session — never per event — so the
+        # instruments stay off the byte-level hot path.
+        self.registry = global_registry()
+        self.tracer = Tracer(capacity=self.config.trace_capacity)
+        self.flight = FlightRecorder()
+        self._admin: Optional[Any] = None
+        self._m_queue_depth = self.registry.gauge("serve.queue.depth")
+        self._m_queue_wait = self.registry.histogram("serve.queue.wait_s")
+        self._m_batch_occupancy = self.registry.histogram(
+            "serve.batch.occupancy",
+            bounds=tuple(float(1 << i) for i in range(7)),
+        )
+        self._m_sessions_active = self.registry.gauge(
+            "serve.sessions.active"
+        )
+        self._m_sessions_dropped = self.registry.counter(
+            "serve.sessions.dropped"
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -246,16 +292,35 @@ class PredictionServer:
         assert self._server is not None and self._server.sockets
         return int(self._server.sockets[0].getsockname()[1])
 
+    @property
+    def admin_port(self) -> Optional[int]:
+        """The admin endpoint's bound port, if one is configured."""
+        return self._admin.port if self._admin is not None else None
+
     async def start(self) -> None:
         if self.config.shards > 0:
             from .sharding import ShardManager
 
-            self._shards = ShardManager(self.config.shards)
+            self._shards = ShardManager(
+                self.config.shards, tracer=self.tracer
+            )
             await self._shards.start()
         self._worker_task = asyncio.ensure_future(self._batch_worker())
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.config.admin_port is not None:
+            from ..obs.admin import AdminServer
+
+            self._admin = AdminServer(
+                health=self._admin_health,
+                metrics=self._admin_metrics,
+                spans=self._admin_spans,
+                host=self.config.host,
+                port=self.config.admin_port,
+                max_frame=self.config.max_frame,
+            )
+            await self._admin.start()
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (POSIX event loops only)."""
@@ -282,6 +347,8 @@ class PredictionServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._admin is not None:
+            await self._admin.close()
         # Drain: the sentinel is processed strictly after every queued
         # feed, so by the time the worker exits all answers are out.
         await self._queue.put(None)
@@ -291,6 +358,59 @@ class PredictionServer:
             await self._shards.close()
         self._executor.shutdown(wait=True)
         self._closed.set()
+
+    # -- observability plane -------------------------------------------------
+
+    def _set_active(self) -> None:
+        self._m_sessions_active.set(float(self._sessions_active))
+
+    def _dump_postmortem(
+        self, connection: _Connection, reason: str
+    ) -> Optional[Path]:
+        """Persist (or at least free) a dead session's flight ring."""
+        if not connection.session_id:
+            return None
+        if not self.config.flight_dir:
+            self.flight.discard(connection.session_id)
+            return None
+        return self.flight.dump(
+            connection.session_id,
+            reason,
+            Path(self.config.flight_dir),
+            context={
+                "peer": connection.peer,
+                "trace": connection.trace_id or None,
+                "stats": self.stats.snapshot(self._sessions_active),
+            },
+        )
+
+    async def _admin_health(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "stats": self.stats.snapshot(self._sessions_active),
+        }
+
+    async def _admin_metrics(self) -> Dict[str, Any]:
+        # Scrape-time gauges: per-shard in-flight is just the pending
+        # FIFO length, so it costs nothing between scrapes.
+        if self._shards is not None:
+            for index, pending in enumerate(self._shards.pending_counts()):
+                self.registry.gauge(
+                    f"serve.shard.{index}.in_flight"
+                ).set(float(pending))
+        merged = MetricsRegistry()
+        merged.merge(self.registry.snapshot())
+        if self._shards is not None:
+            for snapshot in await self._shards.metrics():
+                merged.merge(snapshot)
+        return {
+            "metrics": merged.snapshot(),
+            "spans_buffered": len(self.tracer),
+            "spans_dropped": self.tracer.dropped,
+        }
+
+    async def _admin_spans(self) -> Dict[str, Any]:
+        return self.tracer.export()
 
     # -- micro-batching executor ---------------------------------------------
 
@@ -311,17 +431,35 @@ class PredictionServer:
                     self._queue.put_nowait(None)
                     break
                 batch.append(extra)
-            if self._shards is not None:
-                await self._execute_sharded(batch)
-            else:
-                await loop.run_in_executor(
-                    self._executor, self._execute_local, loop, batch
+            self._m_queue_depth.set(float(self._queue.qsize()))
+            self._m_batch_occupancy.observe(float(len(batch)))
+            now = run_manifest.perf_clock()
+            for connection, _events, _future, enqueued in batch:
+                wait_s = max(0.0, now - enqueued)
+                self._m_queue_wait.observe(wait_s)
+                self.tracer.record(
+                    "serve.feed.queue_wait",
+                    start_us=enqueued * 1e6,
+                    dur_us=wait_s * 1e6,
+                    trace=connection.trace_id or None,
+                    args={"session": connection.session_id},
                 )
+            with self.tracer.span(
+                "serve.batch.exec",
+                batch=len(batch),
+                sharded=self._shards is not None,
+            ):
+                if self._shards is not None:
+                    await self._execute_sharded(batch)
+                else:
+                    await loop.run_in_executor(
+                        self._executor, self._execute_local, loop, batch
+                    )
 
     def _execute_local(
         self, loop: asyncio.AbstractEventLoop, batch: List[_FeedItem]
     ) -> None:
-        for connection, events, future in batch:
+        for connection, events, future, _enqueued in batch:
             session = connection.session
             try:
                 assert session is not None
@@ -337,7 +475,7 @@ class PredictionServer:
         assert self._shards is not None
 
         async def one(item: _FeedItem) -> None:
-            connection, events, future = item
+            connection, events, future, _enqueued = item
             try:
                 records = await self._shards.feed(
                     connection.session_id, events
@@ -384,6 +522,12 @@ class PredictionServer:
         if connection.session_id and not connection.finished:
             self.stats.sessions_dropped += 1
             self._sessions_active -= 1
+            self._m_sessions_dropped.inc()
+            self._set_active()
+            self.flight.record(
+                connection.session_id, "drop", peer=connection.peer
+            )
+            self._dump_postmortem(connection, "drop")
             if self._shards is not None and connection.sharded:
                 await self._shards.discard(connection.session_id)
         connection.session = None
@@ -467,6 +611,10 @@ class PredictionServer:
                 writer, protocol.error_message("config", str(error))
             )
             return
+        # The trace id enters the system here: a client-supplied "trace"
+        # field wins (so loadgen request ids join server-side spans),
+        # otherwise the server mints one.
+        trace_id = str(message.get("trace") or "") or mint_trace_id()
         self._session_counter += 1
         session_id = f"s{self._session_counter}"
         # Reserve the session slot *before* awaiting: the admission
@@ -475,7 +623,7 @@ class PredictionServer:
         self._sessions_active += 1
         try:
             if self._shards is not None:
-                await self._shards.open(session_id, config)
+                await self._shards.open(session_id, config, trace_id)
                 connection.sharded = True
             else:
                 connection.session = PredictorSession(config, session_id)
@@ -487,15 +635,25 @@ class PredictionServer:
             return
         connection.session_id = session_id
         connection.finished = False
+        connection.trace_id = trace_id
         connection.started_wall = run_manifest.wall_clock()
         connection.started_perf = run_manifest.perf_clock()
         connection.started_cpu = run_manifest.cpu_clock()
         self.stats.sessions_opened += 1
+        self._set_active()
+        self.flight.record(
+            session_id,
+            "open",
+            factory=config.factory,
+            trace=trace_id,
+            peer=connection.peer,
+        )
         self._send(
             writer,
             {
                 "type": "opened",
                 "session": session_id,
+                "trace": trace_id,
                 "shard": (
                     self._shards.shard_of(session_id)
                     if self._shards is not None
@@ -519,10 +677,14 @@ class PredictionServer:
         future: "asyncio.Future[List[tuple]]" = (
             asyncio.get_running_loop().create_future()
         )
+        enqueued = run_manifest.perf_clock()
         try:
-            self._queue.put_nowait((connection, events, future))
+            self._queue.put_nowait((connection, events, future, enqueued))
         except asyncio.QueueFull:
             self.stats.rejected_feeds += 1
+            self.flight.record(
+                connection.session_id, "feed.rejected", events=len(events)
+            )
             self._send(
                 writer,
                 protocol.error_message(
@@ -531,6 +693,10 @@ class PredictionServer:
                 ),
             )
             return
+        self._m_queue_depth.set(float(self._queue.qsize()))
+        self.flight.record(
+            connection.session_id, "feed.enqueued", events=len(events)
+        )
         try:
             records = await asyncio.wait_for(
                 future, timeout=self.config.session_timeout_s
@@ -541,7 +707,16 @@ class PredictionServer:
             self.stats.timeouts += 1
             self.stats.sessions_dropped += 1
             self._sessions_active -= 1
+            self._m_sessions_dropped.inc()
+            self._set_active()
             connection.finished = True
+            self.flight.record(
+                connection.session_id,
+                "feed.timeout",
+                budget_s=self.config.session_timeout_s,
+                events=len(events),
+            )
+            self._dump_postmortem(connection, "timeout")
             self._send(
                 writer,
                 protocol.error_message(
@@ -551,10 +726,16 @@ class PredictionServer:
             )
             return
         except Exception as error:
+            self.flight.record(
+                connection.session_id, "feed.error", detail=str(error)
+            )
             self._send(writer, protocol.error_message("session", str(error)))
             return
         self.stats.feeds += 1
         self.stats.loads += len(records)
+        self.flight.record(
+            connection.session_id, "feed.answered", records=len(records)
+        )
         self._send(
             writer,
             {
@@ -585,6 +766,8 @@ class PredictionServer:
                 connection.started_wall,
                 connection.started_perf,
                 connection.started_cpu,
+                trace_id=connection.trace_id or None,
+                flight_dir=self.config.flight_dir,
             )
             summary = {
                 "backend": session.backend,
@@ -603,6 +786,8 @@ class PredictionServer:
         self._sessions_active -= 1
         self.stats.sessions_finished += 1
         self.stats.kernel_feeds += int(summary.get("kernel_feeds") or 0)
+        self._set_active()
+        self.flight.discard(connection.session_id)
         self._send(
             writer,
             {
@@ -617,6 +802,12 @@ class PredictionServer:
     def _send(
         self, writer: asyncio.StreamWriter, message: Dict[str, Any]
     ) -> None:
+        if message.get("type") == "error":
+            # Per-error-code tallies ride the uniform error shape, so
+            # every refusal path is counted without instrumenting each.
+            self.registry.counter(
+                f"serve.errors.{message.get('code', 'unknown')}"
+            ).inc()
         writer.write(protocol.encode_json(message))
 
     async def _try_send(
@@ -650,6 +841,12 @@ async def serve(config: ServeConfig, ready_line: bool = True) -> None:
             f"repro-serve listening on {config.host}:{server.port}",
             flush=True,
         )
+        if server.admin_port is not None:
+            # Second ready line, same contract: scrapers wait for it.
+            print(
+                f"repro-serve admin on {config.host}:{server.admin_port}",
+                flush=True,
+            )
     await server.wait_closed()
     snapshot = server.stats.snapshot(0)
     print(

@@ -43,6 +43,7 @@ from ..kernels import (
     BACKEND_NUMPY,
     BACKEND_PYTHON,
     batch_records,
+    record_dispatch,
     resolve_backend,
     run_batch,
     supports_batch,
@@ -397,16 +398,21 @@ class PredictorSession:
             tuples = list(events)
 
         records: Optional[List[PredictionRecord]] = None
-        if self._kernel_eligible(observer):
+        if not self._kernel_eligible(observer):
+            record_dispatch(self.predictor, "declined")
+        else:
             if stream is None:
                 assert tuples is not None
                 stream = _columns_of(tuples)
             result = run_batch(
                 self.predictor, stream, self.config.warmup_loads
             )
-            if result is not None:
+            if result is None:
+                record_dispatch(self.predictor, "fallback")
+            else:
                 from ..kernels import fold_metrics
 
+                record_dispatch(self.predictor, "dispatched")
                 fold_metrics(
                     result, self.metrics, self.config.warmup_loads
                 )

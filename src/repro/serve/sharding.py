@@ -28,6 +28,8 @@ import zlib
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from ..obs.metrics import global_registry
+from ..obs.tracing import Tracer
 from ..telemetry import manifest as run_manifest
 from .session import PredictorSession, SessionConfig
 
@@ -38,6 +40,9 @@ OP_OPEN = "open"
 OP_FEED = "feed"
 OP_FINISH = "finish"
 OP_DISCARD = "discard"
+#: Observability op: the worker answers with its metrics-registry
+#: snapshot, which the manager merges for the admin endpoint.
+OP_METRICS = "metrics"
 
 
 def _finish_summary(session: PredictorSession) -> Dict[str, Any]:
@@ -69,6 +74,7 @@ def shard_worker(pipe: Any) -> None:
     """
     sessions: Dict[str, PredictorSession] = {}
     clocks: Dict[str, Tuple[float, float, float]] = {}
+    traces: Dict[str, Optional[str]] = {}
     while True:
         try:
             message = pipe.recv()
@@ -79,12 +85,14 @@ def shard_worker(pipe: Any) -> None:
         op, session_id, payload = message
         try:
             if op == OP_OPEN:
-                sessions[session_id] = PredictorSession(payload, session_id)
+                config, trace_id = payload
+                sessions[session_id] = PredictorSession(config, session_id)
                 clocks[session_id] = (
                     run_manifest.wall_clock(),
                     run_manifest.perf_clock(),
                     run_manifest.cpu_clock(),
                 )
+                traces[session_id] = trace_id
                 reply: Tuple[str, str, Any] = ("ok", session_id, None)
             elif op == OP_FEED:
                 records = sessions[session_id].feed(payload)
@@ -95,13 +103,17 @@ def shard_worker(pipe: Any) -> None:
                 session = sessions.pop(session_id)
                 summary = _finish_summary(session)
                 write_session_manifest(
-                    session, *clocks.pop(session_id)
+                    session, *clocks.pop(session_id),
+                    trace_id=traces.pop(session_id, None),
                 )
                 reply = ("ok", session_id, summary)
             elif op == OP_DISCARD:
                 sessions.pop(session_id, None)
                 clocks.pop(session_id, None)
+                traces.pop(session_id, None)
                 reply = ("ok", session_id, None)
+            elif op == OP_METRICS:
+                reply = ("ok", session_id, global_registry().snapshot())
             else:
                 reply = ("error", session_id, f"unknown op {op!r}")
         except KeyError:
@@ -131,7 +143,9 @@ class _Shard:
 class ShardManager:
     """Async facade over the shard worker pool (sticky routing)."""
 
-    def __init__(self, shards: int) -> None:
+    def __init__(
+        self, shards: int, tracer: Optional[Tracer] = None
+    ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be >= 1, got {shards}")
         # Spawn, not fork: the manager process already runs an event loop
@@ -140,6 +154,12 @@ class ShardManager:
         self._shards = [_Shard(i, self._context) for i in range(shards)]
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
+        self._tracer = tracer or Tracer(enabled=False)
+        #: session id -> trace id, for the shard.hop spans.
+        self._traces: Dict[str, Optional[str]] = {}
+        self._pending_failed = global_registry().counter(
+            "serve.shards.pending_failed"
+        )
 
     def __len__(self) -> int:
         return len(self._shards)
@@ -184,18 +204,18 @@ class ShardManager:
                 future = shard.pending.popleft()
             except IndexError:  # pragma: no cover - close() raced us
                 break
+            self._pending_failed.inc()
             self._loop.call_soon_threadsafe(
                 _settle, future, None,
                 RuntimeError(f"shard {shard.index} exited"),
             )
 
-    async def _request(
-        self, op: str, session_id: str, payload: Any = None
+    async def _request_shard(
+        self, shard: _Shard, op: str, session_id: str, payload: Any = None
     ) -> Any:
         if self._closed:
             raise RuntimeError("shard manager is closed")
         assert self._loop is not None
-        shard = self._shards[self.shard_of(session_id)]
         future: "asyncio.Future[Any]" = self._loop.create_future()
         # Append strictly before send: the pump pairs replies by FIFO
         # position, and the worker cannot answer a request it has not
@@ -204,10 +224,33 @@ class ShardManager:
         shard.pipe.send((op, session_id, payload))
         return await future
 
+    async def _request(
+        self, op: str, session_id: str, payload: Any = None
+    ) -> Any:
+        shard = self._shards[self.shard_of(session_id)]
+        with self._tracer.span(
+            "shard.hop",
+            trace=self._traces.get(session_id),
+            op=op,
+            shard=shard.index,
+            session=session_id,
+        ):
+            return await self._request_shard(shard, op, session_id, payload)
+
     # -- session ops ---------------------------------------------------------
 
-    async def open(self, session_id: str, config: SessionConfig) -> None:
-        await self._request(OP_OPEN, session_id, config)
+    async def open(
+        self,
+        session_id: str,
+        config: SessionConfig,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self._traces[session_id] = trace_id
+        try:
+            await self._request(OP_OPEN, session_id, (config, trace_id))
+        except BaseException:
+            self._traces.pop(session_id, None)
+            raise
 
     async def feed(
         self, session_id: str, events: List[tuple]
@@ -215,10 +258,29 @@ class ShardManager:
         return await self._request(OP_FEED, session_id, events)
 
     async def finish(self, session_id: str) -> Dict[str, Any]:
-        return await self._request(OP_FINISH, session_id)
+        try:
+            return await self._request(OP_FINISH, session_id)
+        finally:
+            self._traces.pop(session_id, None)
 
     async def discard(self, session_id: str) -> None:
-        await self._request(OP_DISCARD, session_id)
+        try:
+            await self._request(OP_DISCARD, session_id)
+        finally:
+            self._traces.pop(session_id, None)
+
+    # -- observability -------------------------------------------------------
+
+    def pending_counts(self) -> List[int]:
+        """In-flight (sent, unanswered) request count per shard."""
+        return [len(shard.pending) for shard in self._shards]
+
+    async def metrics(self) -> List[Dict[str, Any]]:
+        """Every worker's metrics-registry snapshot (one pipe RTT each)."""
+        return list(await asyncio.gather(*(
+            self._request_shard(shard, OP_METRICS, "")
+            for shard in self._shards
+        )))
 
     async def close(self) -> None:
         """Stop workers; fail any still-pending request."""
@@ -238,6 +300,7 @@ class ShardManager:
             shard.pipe.close()
             while shard.pending:
                 future = shard.pending.popleft()
+                self._pending_failed.inc()
                 _settle(
                     future, None, RuntimeError("shard shut down")
                 )

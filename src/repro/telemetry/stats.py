@@ -642,4 +642,21 @@ def render_slo_report(path: Union[str, Path]) -> str:
             f" backends: {backends}"
         ),
     ]
+    server_obs = payload.get("server_obs")
+    if server_obs:
+        wait = server_obs["queue_wait_ms"]
+        occupancy = server_obs.get("batch_occupancy_mean")
+        lines.append(
+            f"server: queue-wait p50={_ms(wait.get('p50'))}ms"
+            f" p95={_ms(wait.get('p95'))}ms p99={_ms(wait.get('p99'))}ms"
+            f" (n={wait['count']})"
+            + (
+                f" batch-occupancy={occupancy:.1f}"
+                if occupancy is not None else ""
+            )
+            + (
+                f" spans={server_obs['spans_exported']}"
+                if server_obs.get("spans_exported") is not None else ""
+            )
+        )
     return "\n".join(lines)

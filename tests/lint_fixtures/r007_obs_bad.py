@@ -1,0 +1,30 @@
+"""R007 bad fixture (obs scope): an admin endpoint handler that
+check-then-acts on shared scrape stats across an await.
+
+The handler reads the shared scrape counter to decide whether to rotate
+the span buffer, suspends while streaming the response, then commits
+both the rotation and the counter from the stale read — two concurrent
+scrapes both see the pre-rotation count, rotate twice, and drop a
+buffer of spans that was never exported.
+"""
+
+
+class RacyAdminEndpoint:
+    def __init__(self, rotate_every):
+        self.rotate_every = rotate_every
+        self.scrapes = 0
+        self.spans = []
+        self.writer = None
+
+    async def on_metrics(self, request):
+        seen = self.scrapes  # the check: a snapshot of shared state
+        payload = {"scrapes": seen, "spans": len(self.spans)}
+        await self.writer.send(payload)  # suspension: scrapers interleave
+        self.scrapes = seen + 1  # the act, against the stale snapshot
+        return payload
+
+    async def on_spans(self, request):
+        if self.scrapes % self.rotate_every == 0:  # the check
+            await self.writer.send({"spans": self.spans})  # suspension
+            self.spans = []  # the act: rotation decided on a dead read
+        return len(self.spans)

@@ -1,0 +1,31 @@
+"""R007 good fixture (obs scope): the admin endpoint's sanctioned
+shapes — commit-before-await, and takes that move shared state into a
+local *in the same statement* as the write.
+
+Mirrors ``repro.obs.admin``: handlers are read-only against shared
+stats, mutation happens before the first suspension point, and buffer
+rotation swaps the shared list out atomically (one statement reads and
+replaces it) so the awaited export works on a private snapshot.
+"""
+
+
+class ReadOnlyAdminEndpoint:
+    def __init__(self, rotate_every):
+        self.rotate_every = rotate_every
+        self.scrapes = 0
+        self.spans = []
+        self.writer = None
+
+    async def on_metrics(self, request):
+        self.scrapes += 1  # atomic read-modify-write, before the await
+        payload = {"scrapes": self.scrapes, "spans": len(self.spans)}
+        await self.writer.send(payload)
+        return payload
+
+    async def on_spans(self, request):
+        # Take the buffer before suspending: the swap reads and writes in
+        # one statement, so concurrent scrapes each export a disjoint
+        # private snapshot instead of double-rotating a stale one.
+        exported, self.spans = self.spans, []
+        await self.writer.send({"spans": exported})
+        return len(exported)

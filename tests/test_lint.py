@@ -120,6 +120,44 @@ class TestFixturePairs:
         notes = " ".join(step.note for step in race.trace)
         assert "suspension point" in notes
 
+    def test_r007_obs_bad_fixture_fires_in_obs_scope(self):
+        # The admin-endpoint shape: shared scrape stats read, response
+        # streamed (suspension), stats committed from the stale read.
+        source = (FIXTURES / "r007_obs_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(
+            source, relpath="src/repro/obs/fixture.py", rules=["R007"]
+        )
+        assert findings, "R007 missed the admin check-then-act shape"
+        messages = " ".join(f.message for f in findings)
+        assert "self.scrapes" in messages
+
+    def test_r007_obs_good_fixture_is_silent(self):
+        source = (FIXTURES / "r007_obs_good.py").read_text(encoding="utf-8")
+        assert lint_source(
+            source, relpath="src/repro/obs/fixture.py", rules=["R007"]
+        ) == []
+
+    def test_r007_out_of_scope_outside_serve_and_obs(self):
+        # The same racy source under a non-scoped package stays silent:
+        # R007 is scoped to the packages whose handlers share state.
+        source = (FIXTURES / "r007_obs_bad.py").read_text(encoding="utf-8")
+        assert lint_source(
+            source, relpath="src/repro/predictors/fixture.py",
+            rules=["R007"],
+        ) == []
+
+    def test_r002_clock_reads_allowlisted_in_obs_package(self):
+        # The observability plane measures wall time for a living; the
+        # same read outside obs/ still fires.
+        source = "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+        assert lint_source(
+            source, relpath="src/repro/obs/fixture.py", rules=["R002"]
+        ) == []
+        flagged = lint_source(
+            source, relpath="src/repro/eval/fixture.py", rules=["R002"]
+        )
+        assert any("wall-clock" in f.message for f in flagged)
+
     def test_r008_follows_taint_through_rename_and_call(self):
         findings = _lint_fixture("R008", "bad")
         messages = [f.message for f in findings]

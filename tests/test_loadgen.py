@@ -91,6 +91,73 @@ class TestEndToEnd:
         rendered = render_slo_report(out)
         assert "SLO:" in rendered and "dropped=0" in rendered
 
+    def test_spawn_with_admin_joins_server_obs_and_exports_trace(
+        self, tmp_path
+    ):
+        """The observability CI scenario: spawn with an admin endpoint,
+        scrape server-side queue-wait into the report, export a
+        schema-valid span file whose trace ids are the loadgen ones."""
+        out = tmp_path / "slo_report.json"
+        trace_out = tmp_path / "trace.json"
+        completed = subprocess.run(
+            [
+                sys.executable, str(LOADGEN), "--spawn", "--admin",
+                "--ramp", "1,2", "--events-per-feed", "80",
+                "--feeds-per-session", "2",
+                "--output", str(out),
+                "--trace-export", str(trace_out),
+                "--require-zero-drops", "--require-server-obs",
+            ],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=180,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "admin=" in completed.stdout
+
+        report = json.loads(out.read_text(encoding="utf-8"))
+        obs = report["server_obs"]
+        assert obs is not None
+        assert obs["queue_wait_ms"]["count"] > 0
+        assert obs["queue_wait_ms"]["p50"] is not None
+        assert obs["sessions_dropped"] == 0
+        assert obs["spans_exported"] > 0
+
+        from repro.obs.tracing import validate_trace_export
+        from repro.telemetry.stats import check_slo_report, render_slo_report
+
+        assert check_slo_report(out) == []
+        assert "queue-wait" in render_slo_report(out)
+
+        document = json.loads(trace_out.read_text(encoding="utf-8"))
+        assert validate_trace_export(document) == []
+        traces = {
+            (e.get("args") or {}).get("trace")
+            for e in document["traceEvents"]
+        }
+        # Client request ids join server spans across the queue hop.
+        assert any(t and t.startswith("lg0-") for t in traces)
+
+    def test_server_obs_section_is_optional_in_schema(self):
+        lg = _loadgen_module()
+        from repro.telemetry.schema import load_schema, validate
+
+        schema = load_schema(lg.SLO_SCHEMA_PATH)
+        base = {
+            "schema": "repro.slo_report/v1",
+            "server": {"host": "h", "port": 1, "spawned": False},
+            "workload": {"profile": "mixed", "seed": 0, "mode": "closed",
+                         "events_per_feed": 1, "feeds_per_session": 1},
+            "steps": [], "totals": {"sessions": 0, "feeds": 0, "loads": 0,
+                                    "errors": 0, "dropped_sessions": None},
+            "slo": {"p50_ms": None, "p99_ms": None, "throughput_lps": None},
+        }
+        assert validate(base, schema) == []
+        assert validate({**base, "server_obs": None}, schema) == []
+        assert validate({**base, "server_obs": {
+            "admin_port": 1,
+            "queue_wait_ms": {"count": 0},
+        }}, schema) == []
+        assert validate({**base, "server_obs": {"admin_port": 1}}, schema)
+
     def test_stats_slo_cli_rejects_invalid(self, tmp_path):
         bad = tmp_path / "bad.json"
         bad.write_text('{"schema": "nope"}', encoding="utf-8")

@@ -1,0 +1,84 @@
+"""Flight recorder: per-session rings and postmortem manifests."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    POSTMORTEM_SCHEMA_ID,
+    FlightRecorder,
+    validate_postmortem,
+)
+
+
+class TestRings:
+    def test_record_and_read_back(self):
+        flight = FlightRecorder()
+        flight.record("s1", "open", peer="127.0.0.1")
+        flight.record("s1", "feed.enqueued", events=100)
+        events = flight.events("s1")
+        assert [e[2] for e in events] == ["open", "feed.enqueued"]
+        assert events[0][3] == {"peer": "127.0.0.1"}
+        assert events[0][0] < events[1][0]  # sequence numbers ascend
+
+    def test_ring_is_bounded(self):
+        flight = FlightRecorder(capacity=3)
+        for i in range(10):
+            flight.record("s1", f"k{i}")
+        assert [e[2] for e in flight.events("s1")] == ["k7", "k8", "k9"]
+
+    def test_sessions_are_isolated(self):
+        flight = FlightRecorder()
+        flight.record("a", "open")
+        flight.record("b", "open")
+        assert len(flight) == 2
+        flight.discard("a")
+        assert len(flight) == 1
+        assert flight.events("a") == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestPostmortem:
+    def test_document_validates_and_uses_relative_time(self):
+        flight = FlightRecorder()
+        flight.record("s1", "open")
+        flight.record("s1", "feed.timeout", budget_s=0.1)
+        doc = flight.postmortem("s1", "timeout", context={"peer": "x"})
+        assert doc["schema"] == POSTMORTEM_SCHEMA_ID
+        assert doc["session"] == "s1"
+        assert doc["reason"] == "timeout"
+        assert doc["events_recorded"] == 2
+        assert doc["events"][0]["t_s"] == 0.0  # relative to first event
+        assert doc["events"][1]["t_s"] >= 0.0
+        assert doc["context"] == {"peer": "x"}
+        assert validate_postmortem(doc) == []
+
+    def test_empty_session_still_produces_valid_doc(self):
+        doc = FlightRecorder().postmortem("ghost", "drop")
+        assert doc["events"] == []
+        assert validate_postmortem(doc) == []
+
+    def test_dump_writes_atomic_json_and_consumes_ring(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("s1", "open")
+        path = flight.dump("s1", "timeout", tmp_path)
+        assert path.name == "postmortem-s1-timeout.json"
+        assert not list(tmp_path.glob("*.tmp"))
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_postmortem(document) == []
+        assert len(flight) == 0  # ring consumed
+
+    def test_dump_creates_directory(self, tmp_path):
+        flight = FlightRecorder()
+        flight.record("s1", "open")
+        path = flight.dump("s1", "drop", tmp_path / "nested" / "dir")
+        assert path.exists()
+
+    def test_validation_catches_missing_fields(self):
+        doc = FlightRecorder().postmortem("s", "drop")
+        del doc["reason"]
+        assert validate_postmortem(doc)
+        assert validate_postmortem({"schema": POSTMORTEM_SCHEMA_ID})

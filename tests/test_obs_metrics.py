@@ -1,0 +1,145 @@
+"""Metrics registry: instruments, snapshots, cross-process merge."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    histogram_percentile,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(3.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_overflow(self):
+        hist = Histogram("h", bounds=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(101.05)
+        assert hist.mean == pytest.approx(101.05 / 4)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 0.5))
+
+    def test_default_bounds_ascending(self):
+        assert list(DEFAULT_LATENCY_BOUNDS_S) == sorted(
+            DEFAULT_LATENCY_BOUNDS_S
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_disabled_registry_hands_out_shared_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("a")
+        assert counter is registry.counter("b")
+        counter.inc()
+        registry.gauge("g").set(9.0)
+        registry.histogram("h").observe(1.0)
+        # Nothing was registered and nothing mutated.
+        assert len(registry) == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("feeds").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("wait", bounds=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"feeds": 3}
+        assert snap["gauges"] == {"depth": 2.0}
+        assert snap["histograms"]["wait"] == {
+            "bounds": [1.0, 2.0], "counts": [0, 1, 0],
+            "sum": 1.5, "count": 1,
+        }
+
+    def test_merge_adds_counters_buckets_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("feeds").inc(3)
+        registry.gauge("in_flight").set(2.0)
+        registry.histogram("wait", bounds=(1.0, 2.0)).observe(0.5)
+        snap = registry.snapshot()
+
+        merged = MetricsRegistry()
+        merged.merge(snap)
+        merged.merge(snap)
+        out = merged.snapshot()
+        assert out["counters"]["feeds"] == 6
+        assert out["gauges"]["in_flight"] == 4.0  # occupancies sum
+        assert out["histograms"]["wait"]["counts"] == [2, 0, 0]
+        assert out["histograms"]["wait"]["count"] == 2
+        assert out["histograms"]["wait"]["sum"] == pytest.approx(1.0)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("wait", bounds=(1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("wait", bounds=(5.0, 6.0))
+        with pytest.raises(ValueError):
+            other.merge(registry.snapshot())
+
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_global_registry_is_shared(self):
+        assert global_registry() is global_registry()
+
+
+class TestHistogramPercentile:
+    def test_empty_returns_none(self):
+        record = {"bounds": [1.0], "counts": [0, 0], "count": 0, "sum": 0}
+        assert histogram_percentile(record, 0.5) is None
+
+    def test_returns_bucket_upper_edge(self):
+        hist = Histogram("h", bounds=(0.1, 0.2, 0.4))
+        for _ in range(90):
+            hist.observe(0.05)
+        for _ in range(10):
+            hist.observe(0.3)
+        record = {
+            "bounds": list(hist.bounds), "counts": list(hist.counts),
+            "sum": hist.total, "count": hist.count,
+        }
+        assert histogram_percentile(record, 0.50) == 0.1
+        assert histogram_percentile(record, 0.99) == 0.4
+
+    def test_overflow_answers_last_finite_edge(self):
+        record = {"bounds": [1.0], "counts": [0, 5], "count": 5, "sum": 50}
+        assert histogram_percentile(record, 0.99) == 1.0
+
+    def test_rejects_out_of_range_q(self):
+        record = {"bounds": [1.0], "counts": [1, 0], "count": 1, "sum": 1}
+        with pytest.raises(ValueError):
+            histogram_percentile(record, 1.5)

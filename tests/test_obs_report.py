@@ -1,0 +1,123 @@
+"""``repro stats tail`` / ``repro stats spans`` reporting backends."""
+
+import json
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    render_metrics_snapshot,
+    scan_directory,
+    spans_report,
+    summarize_spans,
+    tail,
+)
+from repro.obs.tracing import Tracer
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.counter("serve.feeds").inc(7)
+    registry.gauge("serve.queue.depth").set(2.0)
+    hist = registry.histogram("serve.queue.wait_s", bounds=(0.01, 0.1))
+    hist.observe(0.005)
+    hist.observe(0.05)
+    registry.histogram("empty.hist", bounds=(1.0,))
+    return registry.snapshot()
+
+
+class TestRenderSnapshot:
+    def test_renders_all_instrument_kinds(self):
+        text = render_metrics_snapshot(_snapshot())
+        assert "serve.feeds" in text and "7" in text
+        assert "serve.queue.depth" in text
+        assert "serve.queue.wait_s" in text
+        assert "p50<=" in text and "p99<=" in text
+        assert "(empty)" in text
+
+    def test_empty_snapshot(self):
+        assert "no metrics" in render_metrics_snapshot({})
+
+
+class TestDirectoryTail:
+    def _populate(self, directory):
+        flight = FlightRecorder()
+        flight.record("s1", "open")
+        flight.dump("s1", "timeout", directory)
+        (directory / "run.json").write_text(json.dumps({
+            "schema": "repro.run/v1",
+            "job": {"kind": "predict", "trace": "t", "variant": "v"},
+            "run": {"wall_s": 0.25},
+        }), encoding="utf-8")
+        (directory / "junk.json").write_text("{", encoding="utf-8")
+
+    def test_scan_digests_each_file_once(self, tmp_path):
+        self._populate(tmp_path)
+        lines, seen = scan_directory(tmp_path)
+        assert len(lines) == 3
+        text = "\n".join(lines)
+        assert "postmortem" in text and "reason=timeout" in text
+        assert "manifest" in text and "wall_s=0.25" in text
+        assert "unreadable" in text
+        again, _ = scan_directory(tmp_path, seen)
+        assert again == []
+
+    def test_tail_once_prints_digests(self, tmp_path):
+        self._populate(tmp_path)
+        out = []
+        assert tail(str(tmp_path), once=True, out=out.append) == 0
+        assert len(out) == 3
+
+    def test_tail_once_empty_directory(self, tmp_path):
+        out = []
+        assert tail(str(tmp_path), once=True, out=out.append) == 0
+        assert "no manifests" in out[0]
+
+    def test_tail_bad_target(self, tmp_path):
+        out = []
+        assert tail(
+            str(tmp_path / "missing"), once=True, out=out.append
+        ) == 2
+
+    def test_tail_unreachable_admin_endpoint(self):
+        out = []
+        # Port 1 on localhost: connection refused without a listener.
+        assert tail("127.0.0.1:1", once=True, out=out.append) == 1
+        assert "unreachable" in out[0]
+
+
+class TestSpansReport:
+    def _export(self):
+        tracer = Tracer()
+        for i in range(3):
+            tracer.record(
+                "serve.feed.queue_wait", start_us=float(i), dur_us=100.0,
+                trace="lg0-1",
+            )
+        tracer.record("serve.batch.exec", start_us=0.0, dur_us=5000.0)
+        return tracer.export()
+
+    def test_summarize_groups_by_name_and_trace(self):
+        text = summarize_spans(self._export())
+        assert "4 events" in text
+        assert "2 names" in text and "1 trace ids" in text
+        # Ranked by total time: batch.exec (5ms) above queue_wait.
+        assert text.index("serve.batch.exec") < text.index(
+            "serve.feed.queue_wait"
+        )
+        assert "lg0-1 (3 spans)" in text
+
+    def test_spans_report_validates_then_summarises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(self._export()), encoding="utf-8")
+        out = []
+        assert spans_report(str(path), out=out.append) == 0
+        assert "4 events" in out[0]
+
+    def test_spans_report_rejects_unreadable_and_invalid(self, tmp_path):
+        out = []
+        assert spans_report(str(tmp_path / "nope.json"),
+                            out=out.append) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}),
+                       encoding="utf-8")
+        assert spans_report(str(bad), out=out.append) == 2

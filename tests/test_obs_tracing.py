@@ -1,0 +1,95 @@
+"""Span tracer: ids, ring bounds, Chrome trace-event export contract."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.tracing import (
+    TRACE_EVENT_SCHEMA_PATH,
+    Tracer,
+    mint_trace_id,
+    validate_trace_export,
+)
+
+
+class TestTraceIds:
+    def test_ids_are_unique_and_deterministic_in_shape(self):
+        first, second = mint_trace_id(), mint_trace_id()
+        assert first != second
+        assert re.fullmatch(r"t[0-9a-f]+-[0-9a-f]+", first)
+
+
+class TestTracer:
+    def test_span_records_completed_event(self):
+        tracer = Tracer()
+        with tracer.span("work", trace="t1", batch=3) as span:
+            span.set("extra", "yes")
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["dur"] >= 0.0
+        assert event["args"]["trace"] == "t1"
+        assert event["args"]["batch"] == 3
+        assert event["args"]["extra"] == "yes"
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("work")
+        assert tracer.span("other") is span  # shared null span
+        with span:
+            span.set("k", "v")
+        tracer.record("direct", start_us=0.0, dur_us=1.0)
+        assert tracer.events() == []
+
+    def test_ring_capacity_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(f"s{i}", start_us=float(i), dur_us=1.0)
+        names = [e["name"] for e in tracer.events()]
+        assert names == ["s3", "s4"]
+        assert tracer.dropped == 3
+        assert len(tracer) == 2
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer()
+        tracer.record("s", start_us=10.0, dur_us=-5.0)
+        assert tracer.events()[0]["dur"] == 0.0
+
+    def test_events_clear(self):
+        tracer = Tracer()
+        tracer.record("s", start_us=0.0, dur_us=1.0)
+        assert len(tracer.events(clear=True)) == 1
+        assert tracer.events() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestExportContract:
+    def test_schema_file_is_checked_in(self):
+        document = json.loads(
+            TRACE_EVENT_SCHEMA_PATH.read_text(encoding="utf-8")
+        )
+        assert document["$id"] == "repro.trace_event/v1"
+
+    def test_export_validates_and_is_json_serialisable(self):
+        tracer = Tracer()
+        with tracer.span("serve.batch.exec", trace="t1-1", batch=2):
+            pass
+        export = tracer.export()
+        assert export["displayTimeUnit"] == "ms"
+        assert validate_trace_export(export) == []
+        json.dumps(export)  # no unserialisable values
+
+    def test_empty_export_is_valid(self):
+        assert validate_trace_export(Tracer().export()) == []
+
+    def test_validation_catches_malformed_events(self):
+        assert validate_trace_export({"traceEvents": [{"ph": "X"}]})
+        assert validate_trace_export({})
+        assert validate_trace_export(
+            {"traceEvents": [{"ph": "B", "name": "n", "ts": 0.0,
+                              "dur": 0.0, "pid": 1, "tid": 1}]}
+        )

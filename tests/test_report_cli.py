@@ -59,6 +59,40 @@ class TestCLI:
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
+    def test_stats_tail_once_on_directory(self, capsys, tmp_path):
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
+        flight.record("s1", "open")
+        flight.dump("s1", "timeout", tmp_path)
+        assert main(["stats", "tail", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "postmortem" in out and "reason=timeout" in out
+
+    def test_stats_tail_bad_target(self, capsys, tmp_path):
+        assert main(
+            ["stats", "tail", str(tmp_path / "missing"), "--once"]
+        ) == 2
+
+    def test_stats_spans_summarises_export(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        tracer.record("serve.batch.exec", start_us=0.0, dur_us=1000.0,
+                      trace="t1-1")
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(tracer.export()), encoding="utf-8")
+        assert main(["stats", "spans", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.batch.exec" in out and "1 events" in out
+
+    def test_stats_spans_rejects_invalid_export(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{"ph": "X"}]}', encoding="utf-8")
+        assert main(["stats", "spans", str(path)]) == 2
+
     def test_run_small_experiment(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
         code = main([

@@ -209,7 +209,7 @@ class TestRoundTrip:
                 self.entered = asyncio.Event()
                 self.gate = asyncio.Event()
 
-            async def open(self, session_id, config):
+            async def open(self, session_id, config, trace_id=None):
                 self.entered.set()
                 await self.gate.wait()
 

@@ -242,6 +242,127 @@ class TestManifests:
         assert run_manifest.config_hash(a) == run_manifest.config_hash(b)
         assert run_manifest.config_hash(a) != run_manifest.config_hash(c)
 
+    def test_trace_id_never_perturbs_manifest_identity(self, tmp_path,
+                                                       monkeypatch):
+        """The observability trace id rides along on a Job but is
+        excluded from the config hash: the same logical run must
+        overwrite its manifest whether or not it was traced."""
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        plain = Job(trace=TRACE, factory="cap", variant="cap",
+                    instructions=INSTR)
+        traced = Job(trace=TRACE, factory="cap", variant="cap",
+                     instructions=INSTR, trace_id="t1-9")
+        run_jobs([plain])
+        run_jobs([traced])
+        assert len(list(out.glob("*.json"))) == 1
+
+
+class TestManifestObsSection:
+    def test_engine_manifest_carries_obs_and_validates(
+        self, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        job = Job(trace=TRACE, factory="stride", variant="stride",
+                  instructions=INSTR, trace_id="t1-2")
+        run_jobs([job])
+        (manifest,) = run_manifest.load_manifests(out)
+        assert validate_manifest(manifest) == []
+        obs = manifest["obs"]
+        assert obs["trace_id"] == "t1-2"
+        assert obs["metrics"]["counters"]["engine.jobs"] >= 1
+        assert "engine.job.run_s" in obs["metrics"]["histograms"]
+
+    def test_old_manifest_without_obs_still_validates(
+        self, tmp_path, monkeypatch
+    ):
+        """Manifests written before the obs section existed must keep
+        validating — the section is optional, not required."""
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        run_jobs([Job(trace=TRACE, factory="stride", variant="stride",
+                      instructions=INSTR)])
+        (manifest,) = run_manifest.load_manifests(out)
+        del manifest["obs"]
+        assert validate_manifest(manifest) == []
+        # Null is also fine (a writer with observability off).
+        manifest["obs"] = None
+        assert validate_manifest(manifest) == []
+
+    def test_malformed_obs_section_is_rejected(self, tmp_path,
+                                               monkeypatch):
+        out = tmp_path / "telemetry"
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(out))
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        run_jobs([Job(trace=TRACE, factory="stride", variant="stride",
+                      instructions=INSTR)])
+        (manifest,) = run_manifest.load_manifests(out)
+        manifest["obs"] = {"flight_recorder": None}  # missing trace_id
+        assert validate_manifest(manifest)
+        manifest["obs"] = {"trace_id": "t", "bogus": 1}
+        assert validate_manifest(manifest)
+
+    def test_serve_session_manifest_obs_validates(self):
+        from repro.serve.server import session_manifest
+        from repro.serve.session import SessionConfig
+
+        config = SessionConfig(factory="stride")
+        metrics = PredictorMetrics(name="stride", suite="serve")
+        manifest = session_manifest(
+            config, metrics, events=10, started_wall=0.0,
+            wall_s=0.5, cpu_s=0.4, backend="python",
+            trace_id="lg0-3", flight_dir="/tmp/flight",
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["obs"]["trace_id"] == "lg0-3"
+        assert manifest["obs"]["flight_recorder"] == "/tmp/flight"
+        untraced = session_manifest(
+            config, metrics, events=10, started_wall=0.0,
+            wall_s=0.5, cpu_s=0.4, backend="python",
+        )
+        assert validate_manifest(untraced) == []
+        assert untraced["obs"]["trace_id"] is None
+
+
+class TestStdoutHygiene:
+    def test_json_stdout_stays_parseable_under_telemetry(self, tmp_path):
+        """``--format json`` output must be machine-readable even with
+        telemetry on: heartbeats go to stderr, never stdout."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env.update({
+            "PYTHONPATH": str(repo / "src"),
+            "REPRO_TELEMETRY": "1",
+            "REPRO_TELEMETRY_DIR": str(tmp_path / "t"),
+            "REPRO_JOBS": "2",
+            "REPRO_TRACE_CACHE": str(tmp_path / "cache"),
+        })
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "breakdown",
+             "--traces", TRACE, "--instructions", "2000",
+             "--format", "json"],
+            cwd=repo, env=env, capture_output=True, text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)  # whole stream, not a prefix
+        assert "per_trace" in payload
+        assert "[telemetry]" in proc.stderr
+        assert "[telemetry]" not in proc.stdout
+
 
 class TestSchemaValidator:
     def test_schema_file_loads(self):
